@@ -1,0 +1,60 @@
+// Ablation: sliding-window join semantics (the paper notes its
+// techniques "could also be applied to cases with infinite data streams
+// as long as operators have finite window sizes").
+//
+// Sweeps the window size under the all-memory strategy: eviction keeps
+// resident state near one window of input, so memory plateaus instead of
+// growing monotonically — the property that makes truly infinite runs
+// feasible. Output shrinks with the window (fewer qualifying
+// combinations).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "metrics/table_printer.h"
+
+namespace dcape {
+namespace bench {
+namespace {
+
+int Main() {
+  PrintFigureHeader(
+      "Ablation: window size", "sliding-window join, W ∈ {1, 5, 20, ∞} min",
+      "1 engine, no adaptation; eviction keeps state near one window of "
+      "input",
+      "(our extension) — state plateaus at ~rate x window instead of "
+      "growing with the run; output shrinks as the window tightens");
+
+  TablePrinter table({"window", "results", "evicted-tuples", "peak-mem",
+                      "final-mem"});
+  for (int64_t window_min : {1, 5, 20, 0}) {
+    ClusterConfig config = PaperBaseConfig();
+    config.num_engines = 1;
+    config.strategy = AdaptationStrategy::kNoAdaptation;
+    config.join_window_ticks = MinutesToTicks(window_min);
+    std::string label =
+        window_min == 0 ? "unbounded" : std::to_string(window_min) + "min";
+    RunResult result = RunLabeled(config, "W=" + label);
+
+    int64_t evicted = 0;
+    for (const auto& c : result.engines) evicted += c.evicted_tuples;
+    table.AddRow({label, std::to_string(result.runtime_results),
+                  std::to_string(evicted),
+                  FormatBytes(static_cast<int64_t>(
+                      result.engine_memory[0].Max())),
+                  FormatBytes(static_cast<int64_t>(
+                      result.engine_memory[0].Last()))});
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dcape
+
+int main() { return dcape::bench::Main(); }

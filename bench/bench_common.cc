@@ -1,0 +1,114 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/units.h"
+#include "metrics/table_printer.h"
+
+namespace dcape {
+namespace bench {
+
+ClusterConfig PaperBaseConfig() {
+  ClusterConfig config;
+  config.num_engines = 1;
+  config.workload.num_streams = 3;
+  config.workload.num_partitions = 60;
+  config.workload.inter_arrival_ticks = 10;
+  config.workload.payload_bytes = 64;
+  // Join rate 3 as in §3.1; the tuple range is scaled so each partition
+  // has ~1000 distinct keys, keeping total output in the millions.
+  config.workload.classes = {PartitionClass{3.0, 180000}};
+  config.workload.seed = 2007;
+  config.seed = 2007;
+
+  config.run_duration = MinutesToTicks(40);
+  config.sample_period = SecondsToTicks(30);
+  config.stats_period = SecondsToTicks(5);
+  config.collect_results = false;
+  config.run_cleanup = true;
+  config.cleanup.collect_results = false;
+
+  config.spill.memory_threshold_bytes = 24 * kMiB;
+  config.spill.spill_fraction = 0.30;
+  config.spill.policy = SpillPolicy::kLeastProductiveFirst;
+  config.spill.ss_timer_period = SecondsToTicks(5);
+
+  config.relocation.theta_r = 0.8;
+  config.relocation.min_time_between = SecondsToTicks(45);
+  config.relocation.sr_timer_period = SecondsToTicks(10);
+  config.relocation.min_relocate_bytes = 512 * kKiB;
+
+  config.active_disk.lambda = 2.0;
+  config.active_disk.lb_timer_period = SecondsToTicks(30);
+  config.active_disk.memory_pressure = 0.5;
+  config.active_disk.max_forced_spill_bytes = 12 * kMiB;
+  config.active_disk.forced_spill_fraction = 0.30;
+  return config;
+}
+
+void PrintFigureHeader(const std::string& figure, const std::string& title,
+                       const std::string& setup,
+                       const std::string& paper_expectation) {
+  std::cout << "\n================================================================\n"
+            << figure << " — " << title << "\n"
+            << "----------------------------------------------------------------\n"
+            << "setup: " << setup << "\n"
+            << "paper: " << paper_expectation << "\n"
+            << "================================================================\n";
+}
+
+RunResult RunLabeled(const ClusterConfig& config, const std::string& label) {
+  RunResult result = Cluster(config).Run();
+  std::cout << "[" << label << "] ";
+  result.PrintSummary(std::cout);
+  return result;
+}
+
+void PrintThroughputTables(const std::vector<RunResult>& runs,
+                           const std::vector<std::string>& labels,
+                           int64_t end_minute, int64_t step_minutes) {
+  std::vector<TimeSeries> cumulative;
+  std::vector<TimeSeries> rates;
+  cumulative.reserve(runs.size());
+  rates.reserve(runs.size());
+  for (size_t i = 0; i < runs.size(); ++i) {
+    TimeSeries c = runs[i].throughput;
+    c.set_name(labels[i]);
+    rates.push_back(ToRatePerMinute(c));
+    cumulative.push_back(std::move(c));
+  }
+
+  std::cout << "\ncumulative output tuples:\n";
+  std::vector<const TimeSeries*> cumulative_ptrs;
+  for (const TimeSeries& s : cumulative) cumulative_ptrs.push_back(&s);
+  PrintSeriesByMinute(std::cout, "minute", cumulative_ptrs, 0, end_minute,
+                      step_minutes);
+
+  std::cout << "\noutput rate (tuples/minute):\n";
+  std::vector<const TimeSeries*> rate_ptrs;
+  for (const TimeSeries& s : rates) rate_ptrs.push_back(&s);
+  PrintSeriesByMinute(std::cout, "minute", rate_ptrs, step_minutes,
+                      end_minute, step_minutes);
+}
+
+void PrintMemoryTables(const std::vector<const TimeSeries*>& series,
+                       const std::vector<std::string>& labels,
+                       int64_t end_minute, int64_t step_minutes) {
+  std::vector<TimeSeries> scaled;
+  scaled.reserve(series.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    TimeSeries s(labels[i]);
+    for (const auto& [tick, value] : series[i]->samples()) {
+      s.Add(tick, value / static_cast<double>(kKiB));
+    }
+    scaled.push_back(std::move(s));
+  }
+  std::cout << "\nmemory usage (KiB):\n";
+  std::vector<const TimeSeries*> ptrs;
+  for (const TimeSeries& s : scaled) ptrs.push_back(&s);
+  PrintSeriesByMinute(std::cout, "minute", ptrs, 0, end_minute, step_minutes);
+}
+
+}  // namespace bench
+}  // namespace dcape

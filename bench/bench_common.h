@@ -1,0 +1,48 @@
+#ifndef DCAPE_BENCH_BENCH_COMMON_H_
+#define DCAPE_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "metrics/time_series.h"
+#include "runtime/cluster.h"
+#include "runtime/cluster_config.h"
+#include "runtime/run_result.h"
+
+namespace dcape {
+namespace bench {
+
+/// The scaled-down equivalent of the paper's experimental setup (§3.1):
+/// 3-way symmetric hash join, 60 partitions, one tuple per stream every
+/// 10 virtual ms, join rate 3, 40 virtual minutes. Budgets scale with the
+/// input rate exactly as the paper's 200 MB threshold scales with its
+/// 30 ms inter-arrival; the *shape* of every curve is preserved while a
+/// full run takes seconds of wall-clock.
+ClusterConfig PaperBaseConfig();
+
+/// Prints the figure banner: experiment id, setup, and what the paper
+/// reports so readers can compare shapes.
+void PrintFigureHeader(const std::string& figure, const std::string& title,
+                       const std::string& setup,
+                       const std::string& paper_expectation);
+
+/// Runs one configuration, echoing a one-line summary tagged `label`.
+RunResult RunLabeled(const ClusterConfig& config, const std::string& label);
+
+/// Prints the cumulative-throughput table (one row per `step` minutes,
+/// one column per run) followed by the per-minute output *rate* table —
+/// the paper's throughput figures plot the latter.
+void PrintThroughputTables(const std::vector<RunResult>& runs,
+                           const std::vector<std::string>& labels,
+                           int64_t end_minute, int64_t step_minutes = 4);
+
+/// Prints the per-engine memory usage table of one or more runs
+/// (Figs. 6/10), in KiB.
+void PrintMemoryTables(const std::vector<const TimeSeries*>& series,
+                       const std::vector<std::string>& labels,
+                       int64_t end_minute, int64_t step_minutes = 2);
+
+}  // namespace bench
+}  // namespace dcape
+
+#endif  // DCAPE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,59 @@
+// Reproduces Figure 5: sensitivity of run-time throughput to the spill
+// volume k% (percentage of memory-resident state pushed per adaptation).
+//
+// Setup (paper §3.2): three-way join on a single machine, spill triggered
+// above the memory threshold, victims chosen RANDOMLY so only the pushed
+// amount matters. Series: All-Mem baseline plus k ∈ {10, 30, 50, 100}.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace dcape {
+namespace bench {
+namespace {
+
+int Main() {
+  PrintFigureHeader(
+      "Figure 5", "Varying k%: impact on run-time throughput",
+      "3-way join, 1 engine, random victims, spill above threshold; "
+      "k% of state pushed per spill",
+      "the more state pushed per spill, the lower the overall throughput; "
+      "All-Mem is the upper bound and 100%-push the lower bound");
+
+  std::vector<RunResult> runs;
+  std::vector<std::string> labels;
+
+  ClusterConfig config = PaperBaseConfig();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  runs.push_back(RunLabeled(config, "All-Mem"));
+  labels.push_back("All-Mem");
+
+  for (double k : {0.10, 0.30, 0.50, 1.00}) {
+    ClusterConfig variant = PaperBaseConfig();
+    variant.strategy = AdaptationStrategy::kSpillOnly;
+    variant.spill.policy = SpillPolicy::kRandom;
+    variant.spill.spill_fraction = k;
+    std::string label = std::to_string(static_cast<int>(k * 100)) + "%-push";
+    runs.push_back(RunLabeled(variant, label));
+    labels.push_back(label);
+  }
+
+  PrintThroughputTables(runs, labels, 40, 4);
+
+  std::cout << "\nspill adaptations triggered:\n";
+  for (size_t i = 1; i < runs.size(); ++i) {
+    std::cout << "  " << labels[i] << ": " << runs[i].spill_events
+              << " spills, deferred " << runs[i].cleanup.result_count
+              << " results to cleanup\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dcape
+
+int main() { return dcape::bench::Main(); }

@@ -1,0 +1,75 @@
+// Reproduces Figure 7 (+ the §3.2 cleanup comparison): effectiveness of
+// the partition-group productivity metric for choosing spill victims.
+//
+// Setup: one engine; 1/3 of the partitions have join rate 4, 1/3 rate 2,
+// 1/3 rate 1. "push-less-productive" spills the smallest
+// P_output/P_size first, "push-more-productive" the largest first.
+// The paper reports ~70% higher output rate after 40 minutes for
+// push-less-productive, and a far cheaper cleanup (26.9 s / 194 K tuples
+// vs 359 s / 993 K tuples).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace dcape {
+namespace bench {
+namespace {
+
+ClusterConfig Config() {
+  ClusterConfig config = PaperBaseConfig();
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  config.workload.classes = {PartitionClass{4.0, 180000},
+                             PartitionClass{2.0, 180000},
+                             PartitionClass{1.0, 180000}};
+  config.workload.partition_class = AssignClassesByFraction(
+      config.workload.num_partitions, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  return config;
+}
+
+int Main() {
+  PrintFigureHeader(
+      "Figure 7", "Throughput-oriented spill evaluation",
+      "3-way join, 1 engine; partitions: 1/3 join rate 4, 1/3 rate 2, "
+      "1/3 rate 1; spill 30% above threshold",
+      "push-less-productive sustains a much higher run-time output rate "
+      "(~70% at 40 min) and leaves far less work to the cleanup phase");
+
+  std::vector<RunResult> runs;
+  std::vector<std::string> labels = {"push-less-productive",
+                                     "push-more-productive"};
+
+  ClusterConfig less = Config();
+  less.spill.policy = SpillPolicy::kLeastProductiveFirst;
+  runs.push_back(RunLabeled(less, labels[0]));
+
+  ClusterConfig more = Config();
+  more.spill.policy = SpillPolicy::kMostProductiveFirst;
+  runs.push_back(RunLabeled(more, labels[1]));
+
+  PrintThroughputTables(runs, labels, 40, 4);
+
+  const double gain =
+      100.0 * (runs[0].throughput.Last() - runs[1].throughput.Last()) /
+      runs[1].throughput.Last();
+  std::cout << "\nrun-time output advantage of push-less-productive at 40 "
+               "min: "
+            << static_cast<int>(gain) << "%\n";
+
+  std::cout << "\ncleanup comparison (paper: 26,879 ms / 194,308 tuples vs "
+               "359,396 ms / 992,893 tuples):\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::cout << "  " << labels[i] << ": " << runs[i].cleanup.total_ticks
+              << " ms to produce " << runs[i].cleanup.result_count
+              << " tuples\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dcape
+
+int main() { return dcape::bench::Main(); }

@@ -1,0 +1,79 @@
+// Reproduces Figure 12 (+ the §5.2 overloaded-cluster cleanup
+// comparison): the lazy-disk strategy versus pure local spilling in a
+// memory-constrained cluster.
+//
+// Setup: three engines; one initially owns 2/3 of all partitions, the
+// other two split the remaining 1/3. Memory thresholds are low enough
+// that the aggregate cluster memory cannot hold the query: even lazy-disk
+// must eventually spill — but it relocates first, using all machines'
+// memory and (crucially) spreading the disk-resident state, so the
+// cleanup phase parallelizes. The paper reports similar total output but
+// cleanup in < 400 s for lazy-disk vs > 1600 s for no-relocation.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/units.h"
+#include "metrics/table_printer.h"
+
+namespace dcape {
+namespace bench {
+namespace {
+
+ClusterConfig Config() {
+  ClusterConfig config = PaperBaseConfig();
+  config.num_engines = 3;
+  config.placement_fractions = {2.0 / 3, 1.0 / 6, 1.0 / 6};
+  // Aggregate capacity (3 × 16 MiB) is below the query's ~70 MiB of
+  // state: the cluster as a whole is overloaded.
+  config.spill.memory_threshold_bytes = 16 * kMiB;
+  return config;
+}
+
+int Main() {
+  PrintFigureHeader(
+      "Figure 12", "Lazy-disk vs no-relocation (memory-constrained)",
+      "3-way join, 3 engines, placement 2/3 : 1/6 : 1/6, aggregate memory "
+      "below the query's needs",
+      "lazy-disk produces more run-time output by using all machines' "
+      "memory; in the fully-overloaded regime total output is similar but "
+      "cleanup is ~4x faster because disk state is spread (400 s vs "
+      "1600 s in the paper)");
+
+  std::vector<RunResult> runs;
+  std::vector<std::string> labels = {"no-relocation", "lazy-disk"};
+
+  ClusterConfig no_reloc = Config();
+  no_reloc.strategy = AdaptationStrategy::kSpillOnly;
+  runs.push_back(RunLabeled(no_reloc, labels[0]));
+
+  ClusterConfig lazy = Config();
+  lazy.strategy = AdaptationStrategy::kLazyDisk;
+  runs.push_back(RunLabeled(lazy, labels[1]));
+
+  PrintThroughputTables(runs, labels, 40, 4);
+
+  std::cout << "\ncleanup-phase comparison (paper: >1600 s concentrated vs "
+               "<400 s spread):\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::cout << "  " << labels[i] << ": " << runs[i].cleanup.total_ticks
+              << " ms total (parallel over engines), per-engine busy [";
+    for (Tick t : runs[i].cleanup.engine_ticks) std::cout << " " << t;
+    std::cout << " ], " << runs[i].cleanup.result_count
+              << " cleanup results\n";
+  }
+  const double speedup =
+      static_cast<double>(runs[0].cleanup.total_ticks) /
+      static_cast<double>(std::max<Tick>(1, runs[1].cleanup.total_ticks));
+  std::cout << "cleanup speedup of lazy-disk: " << FormatDouble(speedup, 2)
+            << "x\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dcape
+
+int main() { return dcape::bench::Main(); }

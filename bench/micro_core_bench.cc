@@ -1,0 +1,194 @@
+// Micro-benchmarks (google-benchmark) for the core mechanisms: the m-way
+// symmetric hash-join probe, partition-group serialization (the cost
+// behind both spill and relocation), spill-store I/O, victim selection,
+// the simulated network, and the workload generator. These quantify the
+// constants behind the figure-level experiments and serve as ablations
+// for the design choices called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/victim_policy.h"
+#include "net/network.h"
+#include "state/partition_group.h"
+#include "state/state_manager.h"
+#include "storage/disk_backend.h"
+#include "storage/spill_store.h"
+#include "stream/stream_generator.h"
+
+namespace dcape {
+namespace {
+
+Tuple MakeTuple(StreamId stream, int64_t seq, JoinKey key, int payload) {
+  Tuple t;
+  t.stream_id = stream;
+  t.seq = seq;
+  t.join_key = key;
+  t.payload.assign(static_cast<size_t>(payload), 'x');
+  return t;
+}
+
+/// Probe+insert with a configurable number of matches per other stream.
+void BM_ProbeAndInsert(benchmark::State& state) {
+  const int matches = static_cast<int>(state.range(0));
+  PartitionGroup group(0, 3);
+  for (int i = 0; i < matches; ++i) {
+    group.InsertOnly(MakeTuple(1, i, 7, 32));
+    group.InsertOnly(MakeTuple(2, i, 7, 32));
+  }
+  std::vector<JoinResult> results;
+  int64_t seq = 1000;
+  for (auto _ : state) {
+    results.clear();
+    Tuple t = MakeTuple(0, seq++, 7, 32);
+    benchmark::DoNotOptimize(group.ProbeAndInsert(t, &results));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(matches) * matches);
+}
+BENCHMARK(BM_ProbeAndInsert)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ProbeMiss(benchmark::State& state) {
+  PartitionGroup group(0, 3);
+  for (int i = 0; i < 1000; ++i) {
+    group.InsertOnly(MakeTuple(1, i, i, 32));
+  }
+  int64_t seq = 0;
+  for (auto _ : state) {
+    // Stream 2 is empty → no results regardless of stream-1 matches.
+    Tuple t = MakeTuple(0, seq, seq % 1000, 32);
+    ++seq;
+    benchmark::DoNotOptimize(group.ProbeAndInsert(t, nullptr));
+  }
+}
+BENCHMARK(BM_ProbeMiss);
+
+PartitionGroup BuildGroup(int tuples_per_stream, int payload) {
+  PartitionGroup group(0, 3);
+  for (int i = 0; i < tuples_per_stream; ++i) {
+    for (StreamId s = 0; s < 3; ++s) {
+      group.InsertOnly(MakeTuple(s, i, i % 50, payload));
+    }
+  }
+  return group;
+}
+
+void BM_GroupSerialize(benchmark::State& state) {
+  PartitionGroup group = BuildGroup(static_cast<int>(state.range(0)), 64);
+  std::string blob;
+  for (auto _ : state) {
+    blob.clear();
+    group.Serialize(&blob);
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_GroupSerialize)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_GroupDeserialize(benchmark::State& state) {
+  PartitionGroup group = BuildGroup(static_cast<int>(state.range(0)), 64);
+  std::string blob;
+  group.Serialize(&blob);
+  for (auto _ : state) {
+    StatusOr<PartitionGroup> restored = PartitionGroup::Deserialize(blob);
+    benchmark::DoNotOptimize(restored.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_GroupDeserialize)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SpillStoreWrite(benchmark::State& state) {
+  SpillStore store(0, SpillStore::Config{},
+                   std::make_unique<MemoryDiskBackend>());
+  PartitionGroup group = BuildGroup(static_cast<int>(state.range(0)), 64);
+  std::string blob;
+  group.Serialize(&blob);
+  Tick now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.WriteSegment(0, now++, blob, group.tuple_count()).ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_SpillStoreWrite)->Arg(100)->Arg(1000);
+
+void BM_VictimSelection(benchmark::State& state) {
+  const int groups = static_cast<int>(state.range(0));
+  std::vector<GroupStats> stats;
+  Rng rng(5);
+  for (int p = 0; p < groups; ++p) {
+    GroupStats g;
+    g.partition = p;
+    g.bytes = 1000 + static_cast<int64_t>(rng.Uniform(9000));
+    g.outputs = static_cast<int64_t>(rng.Uniform(1000));
+    g.productivity = static_cast<double>(g.outputs) / g.bytes;
+    stats.push_back(g);
+  }
+  const int64_t target = groups * 300;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SelectSpillVictims(
+        stats, SpillPolicy::kLeastProductiveFirst, target, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * groups);
+}
+BENCHMARK(BM_VictimSelection)->Arg(60)->Arg(500)->Arg(5000);
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  Network::Config config;
+  config.latency_ticks = 1;
+  Network net(config);
+  int64_t delivered = 0;
+  net.RegisterNode(1, [&delivered](Tick, const Message&) { ++delivered; });
+  StatsReport report;
+  Tick now = 0;
+  for (auto _ : state) {
+    net.Send(MakeStatsReportMessage(0, 1, report), now);
+    net.DeliverUntil(now + 2);
+    ++now;
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+void BM_StreamGeneratorEmit(benchmark::State& state) {
+  WorkloadConfig config;
+  config.num_streams = 3;
+  config.num_partitions = 60;
+  config.inter_arrival_ticks = 1;  // emit every tick
+  config.classes = {PartitionClass{3.0, 180000}};
+  StreamGenerator gen(config);
+  Tick now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.EmitForTick(now++));
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_StreamGeneratorEmit);
+
+void BM_StateManagerProcess(benchmark::State& state) {
+  StateManager manager(3);
+  Rng rng(7);
+  int64_t seq = 0;
+  for (auto _ : state) {
+    const PartitionId p = static_cast<PartitionId>(rng.Uniform(60));
+    Tuple t = MakeTuple(static_cast<StreamId>(seq % 3), seq,
+                        static_cast<JoinKey>(p) * StreamGenerator::kKeyStride +
+                            static_cast<JoinKey>(rng.Uniform(100)),
+                        64);
+    ++seq;
+    benchmark::DoNotOptimize(manager.ProcessTuple(p, t, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StateManagerProcess);
+
+}  // namespace
+}  // namespace dcape

@@ -1,0 +1,69 @@
+// Infinite-stream mode: a sliding-window join over sensor-style streams.
+//
+// The paper's techniques target long-running but finite queries, noting
+// they "could also be applied to cases with infinite data streams as
+// long as operators have finite window sizes". This example runs that
+// regime: a 3-way correlation over a 1-minute window. State eviction
+// keeps each engine's memory pinned near one window of input — the run
+// could continue forever — while the spill/relocation machinery still
+// guards against bursts that outrun the window.
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "metrics/table_printer.h"
+#include "runtime/cluster.h"
+
+int main() {
+  using namespace dcape;
+  Logging::SetLevel(LogLevel::kInfo);
+
+  ClusterConfig config;
+  config.num_engines = 2;
+  config.workload.num_streams = 3;      // three sensor feeds
+  config.workload.num_partitions = 24;  // by device-group hash
+  config.workload.inter_arrival_ticks = 10;
+  config.workload.classes = {PartitionClass{2.0, 9600}};
+  config.run_duration = MinutesToTicks(15);
+
+  // Correlate readings within one minute of each other.
+  config.join_window_ticks = MinutesToTicks(1);
+
+  // A burst guard: if a load spike outruns eviction, lazy-disk takes
+  // over (relocate first, spill as a last resort).
+  config.strategy = AdaptationStrategy::kLazyDisk;
+  config.spill.memory_threshold_bytes = 2 * kMiB;
+  config.relocation.min_relocate_bytes = 64 * kKiB;
+
+  // A 5-minute 10x burst on half the device groups.
+  config.workload.fluctuation.enabled = true;
+  config.workload.fluctuation.phase_ticks = MinutesToTicks(5);
+  config.workload.fluctuation.hot_multiplier = 10.0;
+
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  std::cout << "\n--- continuous monitoring (1-minute window) ------------\n";
+  result.PrintSummary(std::cout);
+  int64_t evicted = 0;
+  for (const auto& c : result.engines) evicted += c.evicted_tuples;
+  std::cout << "window-expired tuples evicted: " << evicted << "\n";
+
+  std::cout << "\nper-engine state over time (KiB) — plateaus instead of "
+               "growing:\n";
+  TablePrinter table({"minute", "engine0", "engine1"});
+  for (int minute = 0; minute <= 15; minute += 3) {
+    const Tick t = MinutesToTicks(minute);
+    table.AddRow({std::to_string(minute),
+                  FormatDouble(result.engine_memory[0].ValueAtOrBefore(t) /
+                                   kKiB, 0),
+                  FormatDouble(result.engine_memory[1].ValueAtOrBefore(t) /
+                                   kKiB, 0)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nbecause every tuple older than the window is evicted, the "
+               "run-time memory is bounded by ~rate x window — this query "
+               "can run forever.\n";
+  return 0;
+}

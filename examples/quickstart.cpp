@@ -1,0 +1,68 @@
+// Quickstart: run a partitioned 3-way stream join on a simulated
+// 2-machine cluster with the lazy-disk adaptation strategy, and print
+// what happened.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "runtime/cluster.h"
+
+int main() {
+  using namespace dcape;
+
+  // Narrate adaptations on stderr.
+  Logging::SetLevel(LogLevel::kInfo);
+
+  ClusterConfig config;
+
+  // The query: a 3-way symmetric hash join (A ⋈ B ⋈ C), hash-partitioned
+  // into 24 partitions spread over 2 query engines.
+  config.num_engines = 2;
+  config.workload.num_streams = 3;
+  config.workload.num_partitions = 24;
+  config.workload.inter_arrival_ticks = 10;   // one tuple per stream / 10 ms
+  config.workload.classes = {PartitionClass{/*join_rate=*/2.0,
+                                            /*tuple_range=*/12000}};
+
+  // Skew the initial placement so there is something to adapt.
+  config.placement_fractions = {0.75, 0.25};
+
+  // The paper's integrated strategy: relocate while any machine has room,
+  // spill to disk only as a last resort.
+  config.strategy = AdaptationStrategy::kLazyDisk;
+  config.spill.memory_threshold_bytes = 1536 * kKiB;
+  config.spill.spill_fraction = 0.3;
+  config.relocation.theta_r = 0.8;
+  config.relocation.min_time_between = SecondsToTicks(10);
+  config.relocation.min_relocate_bytes = 16 * kKiB;
+
+  // A 5-minute (virtual) run; finishes in well under a second of real
+  // time. The cleanup phase then produces every result the run-time phase
+  // had to defer to disk.
+  config.run_duration = MinutesToTicks(5);
+
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  std::cout << "\n--- quickstart summary ---------------------------------\n";
+  result.PrintSummary(std::cout);
+  std::cout << "total results (runtime + cleanup): " << result.TotalResults()
+            << "\n";
+  for (size_t e = 0; e < result.engines.size(); ++e) {
+    const auto& c = result.engines[e];
+    std::cout << "engine " << e << ": processed " << c.tuples_processed
+              << " tuples, produced " << c.results_produced
+              << " results, spilled " << FormatBytes(c.spilled_bytes)
+              << ", relocated out " << FormatBytes(c.bytes_relocated_out)
+              << ", in " << FormatBytes(c.bytes_relocated_in) << "\n";
+  }
+  std::cout << "network: " << result.network.messages_sent << " messages, "
+            << FormatBytes(result.network.bytes_sent) << " ("
+            << FormatBytes(result.network.state_transfer_bytes)
+            << " of relocated state)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// State-relocation demo: a 2-machine cluster under the paper's
+// worst-case alternating workload (the hot half of the input flips every
+// few minutes, §4.2). The global coordinator keeps memory balanced by
+// moving partition groups through the 8-step relocation protocol; this
+// example prints the resulting memory trajectories side by side.
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "metrics/table_printer.h"
+#include "runtime/cluster.h"
+
+namespace {
+
+dcape::ClusterConfig BaseConfig() {
+  using namespace dcape;
+  ClusterConfig config;
+  config.num_engines = 2;
+  config.workload.num_streams = 3;
+  config.workload.num_partitions = 32;
+  config.workload.inter_arrival_ticks = 10;
+  config.workload.classes = {PartitionClass{2.0, 19200}};
+  config.workload.fluctuation.enabled = true;
+  config.workload.fluctuation.phase_ticks = MinutesToTicks(2);
+  config.workload.fluctuation.hot_multiplier = 10.0;
+  config.run_duration = MinutesToTicks(10);
+  config.sample_period = SecondsToTicks(30);
+  // Memory is not constrained here; this is purely about balance.
+  config.spill.memory_threshold_bytes = 1 * kGiB;
+  config.relocation.theta_r = 0.8;
+  config.relocation.min_time_between = SecondsToTicks(30);
+  config.relocation.min_relocate_bytes = 32 * kKiB;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dcape;
+  Logging::SetLevel(LogLevel::kInfo);
+
+  ClusterConfig without = BaseConfig();
+  without.strategy = AdaptationStrategy::kNoAdaptation;
+  RunResult no_reloc = Cluster(without).Run();
+
+  ClusterConfig with = BaseConfig();
+  with.strategy = AdaptationStrategy::kRelocationOnly;
+  RunResult reloc = Cluster(with).Run();
+
+  std::cout << "\nper-machine state (KiB), no relocation vs relocation:\n";
+  TablePrinter table({"minute", "static-M1", "static-M2", "adaptive-M1",
+                      "adaptive-M2", "relocated?"});
+  for (int minute = 0; minute <= 10; ++minute) {
+    const Tick t = MinutesToTicks(minute);
+    auto kib = [&](const TimeSeries& s) {
+      return FormatDouble(s.ValueAtOrBefore(t) / kKiB, 0);
+    };
+    table.AddRow({std::to_string(minute), kib(no_reloc.engine_memory[0]),
+                  kib(no_reloc.engine_memory[1]),
+                  kib(reloc.engine_memory[0]), kib(reloc.engine_memory[1]),
+                  ""});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nrelocations completed: "
+            << reloc.coordinator.relocations_completed << " ("
+            << FormatBytes(reloc.coordinator.bytes_relocated)
+            << " of state moved, "
+            << FormatBytes(reloc.network.state_transfer_bytes)
+            << " on the wire)\n";
+  std::cout << "throughput: static=" << no_reloc.runtime_results
+            << " adaptive=" << reloc.runtime_results
+            << " (identical input, identical results — relocation is "
+               "output-transparent)\n";
+  return 0;
+}

@@ -1,0 +1,326 @@
+#include "cleanup/cleanup.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "state/partition_group.h"
+
+namespace dcape {
+namespace {
+
+/// One member tuple's identity plus the typed columns the projection
+/// needs.
+struct MemberRef {
+  int64_t seq = 0;
+  int64_t value = 0;
+  int64_t category = 0;
+  Tick timestamp = 0;
+};
+
+/// One generation of a partition during cleanup: per stream, the member
+/// refs seen per join key.
+struct Generation {
+  EngineId home = 0;
+  /// Eviction *fragments*: window-expired tuples preserved when their
+  /// partition had disk generations. A fragment belongs to the logical
+  /// generation it was evicted from, which ends at the next spill (or
+  /// the memory remainder); fragments are coalesced into that ending
+  /// generation before the incremental merge, so that intra-logical-
+  /// generation combinations — produced at run time or outside the
+  /// window — are exactly the excluded all-Δ term.
+  bool evicted = false;
+  /// Ordering key: spill time for disk generations; memory remainders
+  /// sort last.
+  Tick order_time = 0;
+  int64_t order_tiebreak = 0;
+  int64_t bytes = 0;
+  int64_t tuple_count = 0;
+  std::vector<std::unordered_map<JoinKey, std::vector<MemberRef>>> keys;
+};
+
+/// Converts a deserialized partition group into a Generation.
+Generation FromGroup(const PartitionGroup& group, EngineId home,
+                     Tick order_time, int64_t tiebreak, int64_t bytes) {
+  Generation gen;
+  gen.home = home;
+  gen.order_time = order_time;
+  gen.order_tiebreak = tiebreak;
+  gen.bytes = bytes;
+  gen.tuple_count = group.tuple_count();
+  gen.keys.resize(static_cast<size_t>(group.num_streams()));
+  for (StreamId s = 0; s < group.num_streams(); ++s) {
+    auto& out = gen.keys[static_cast<size_t>(s)];
+    for (const auto& [key, tuples] : group.TableForStream(s)) {
+      std::vector<MemberRef>& refs = out[key];
+      refs.reserve(tuples.size());
+      for (const Tuple& t : tuples) {
+        refs.push_back(MemberRef{t.seq, t.value, t.category, t.timestamp});
+      }
+    }
+  }
+  return gen;
+}
+
+}  // namespace
+
+CleanupProcessor::CleanupProcessor(const CleanupConfig& config,
+                                   int num_streams)
+    : config_(config), num_streams_(num_streams) {
+  DCAPE_CHECK_GE(num_streams, 2);
+  // Subset expansion enumerates 2^m masks; keep m sane.
+  DCAPE_CHECK_LE(num_streams, 16);
+  DCAPE_CHECK_GT(config_.results_per_tick, 0);
+  DCAPE_CHECK_GT(config_.network_bytes_per_tick, 0);
+}
+
+StatusOr<CleanupStats> CleanupProcessor::Run(
+    const std::vector<const SpillStore*>& spill_stores,
+    const std::vector<const StateManager*>& state_managers) const {
+  CleanupStats stats;
+  const size_t num_engines =
+      std::max(spill_stores.size(), state_managers.size());
+  stats.engine_ticks.assign(num_engines, 0);
+
+  // ---- Task (1) of §3: organize disk-resident generations by partition.
+  std::map<PartitionId, std::vector<Generation>> partitions;
+  for (size_t e = 0; e < spill_stores.size(); ++e) {
+    const SpillStore* store = spill_stores[e];
+    if (store == nullptr) continue;
+    for (const SpillSegmentMeta& meta : store->segments()) {
+      Tick io_ticks = 0;
+      DCAPE_ASSIGN_OR_RETURN(std::string blob,
+                             store->ReadSegment(meta, &io_ticks));
+      DCAPE_ASSIGN_OR_RETURN(PartitionGroup group,
+                             PartitionGroup::Deserialize(blob));
+      if (group.num_streams() != num_streams_) {
+        return Status::InvalidArgument(
+            "spilled group stream count mismatch during cleanup");
+      }
+      // Disk read happens at the engine owning the segment.
+      stats.engine_ticks[e] += io_ticks;
+      stats.segments_read += 1;
+      stats.bytes_read += meta.bytes;
+      if (group.tuple_count() == 0) continue;
+      Generation gen =
+          FromGroup(group, static_cast<EngineId>(e), meta.spill_time,
+                    meta.segment_id, meta.bytes);
+      gen.evicted = meta.evicted;
+      partitions[meta.partition].push_back(std::move(gen));
+    }
+  }
+
+  // Memory-resident remainders participate as the final generation.
+  for (size_t e = 0; e < state_managers.size(); ++e) {
+    const StateManager* state = state_managers[e];
+    if (state == nullptr) continue;
+    for (PartitionId p : state->PartitionIds()) {
+      const PartitionGroup* group = state->FindGroup(p);
+      if (group == nullptr || group->tuple_count() == 0) continue;
+      // A partition id this engine holds in memory only matters if disk
+      // generations exist somewhere; single-generation partitions have no
+      // missing results and are skipped below.
+      partitions[p].push_back(FromGroup(
+          *group, static_cast<EngineId>(e),
+          std::numeric_limits<Tick>::max(), static_cast<int64_t>(e),
+          group->bytes()));
+    }
+  }
+
+  // ---- Tasks (2)+(3): per partition, merge generations in order and
+  // emit the cross-generation results.
+  for (auto& [partition, generations] : partitions) {
+    if (generations.size() < 2) continue;
+    std::sort(generations.begin(), generations.end(),
+              [](const Generation& a, const Generation& b) {
+                if (a.order_time != b.order_time) {
+                  return a.order_time < b.order_time;
+                }
+                if (a.home != b.home) return a.home < b.home;
+                return a.order_tiebreak < b.order_tiebreak;
+              });
+
+    // Coalesce eviction fragments into the generation that ends their
+    // logical generation: the next non-evicted generation in time order
+    // (a spill or the memory remainder). Trailing fragments with no
+    // later non-evicted generation form one unit of their own.
+    {
+      std::vector<Generation> coalesced;
+      std::vector<Generation> pending;
+      auto merge_into = [this](Generation* target, Generation&& fragment) {
+        for (int s = 0; s < num_streams_; ++s) {
+          auto& dst = target->keys[static_cast<size_t>(s)];
+          for (auto& [key, refs] : fragment.keys[static_cast<size_t>(s)]) {
+            std::vector<MemberRef>& bucket = dst[key];
+            bucket.insert(bucket.end(), refs.begin(), refs.end());
+          }
+        }
+        target->bytes += fragment.bytes;
+        target->tuple_count += fragment.tuple_count;
+      };
+      for (Generation& gen : generations) {
+        if (gen.evicted) {
+          pending.push_back(std::move(gen));
+          continue;
+        }
+        for (Generation& fragment : pending) {
+          merge_into(&gen, std::move(fragment));
+        }
+        pending.clear();
+        coalesced.push_back(std::move(gen));
+      }
+      if (!pending.empty()) {
+        Generation unit = std::move(pending.front());
+        for (size_t i = 1; i < pending.size(); ++i) {
+          merge_into(&unit, std::move(pending[i]));
+        }
+        coalesced.push_back(std::move(unit));
+      }
+      generations = std::move(coalesced);
+    }
+    if (generations.size() < 2) continue;
+
+    // The partition's cleanup home: the engine holding most of its bytes.
+    std::map<EngineId, int64_t> bytes_at;
+    for (const Generation& gen : generations) bytes_at[gen.home] += gen.bytes;
+    EngineId home = generations.front().home;
+    int64_t best = -1;
+    for (const auto& [engine, bytes] : bytes_at) {
+      if (bytes > best) {
+        best = bytes;
+        home = engine;
+      }
+    }
+    // Remote generations must travel to the home over the network.
+    for (const Generation& gen : generations) {
+      if (gen.home != home) {
+        stats.engine_ticks[static_cast<size_t>(home)] +=
+            (gen.bytes + config_.network_bytes_per_tick - 1) /
+            config_.network_bytes_per_tick;
+      }
+    }
+
+    // Cumulative tables C per stream.
+    std::vector<std::unordered_map<JoinKey, std::vector<MemberRef>>>
+        cumulative(static_cast<size_t>(num_streams_));
+    int64_t produced_here = 0;
+
+    for (size_t g = 0; g < generations.size(); ++g) {
+      const Generation& delta = generations[g];
+      if (g > 0) {
+        // Emit Π(C∪Δ) − Π(C) − Π(Δ): every non-empty, non-full choice of
+        // "this stream's member comes from Δ".
+        const uint32_t full = (1u << num_streams_) - 1;
+        for (uint32_t mask = 1; mask < full; ++mask) {
+          // Iterate keys of the smallest Δ-side stream in the mask.
+          int seed_stream = -1;
+          for (int s = 0; s < num_streams_; ++s) {
+            if ((mask >> s) & 1u) {
+              if (seed_stream < 0 ||
+                  delta.keys[static_cast<size_t>(s)].size() <
+                      delta.keys[static_cast<size_t>(seed_stream)].size()) {
+                seed_stream = s;
+              }
+            }
+          }
+          DCAPE_CHECK_GE(seed_stream, 0);
+          for (const auto& [key, seed_refs] :
+               delta.keys[static_cast<size_t>(seed_stream)]) {
+            // Gather the member lists per stream for this key.
+            std::vector<const std::vector<MemberRef>*> lists(
+                static_cast<size_t>(num_streams_), nullptr);
+            bool all_present = true;
+            for (int s = 0; s < num_streams_ && all_present; ++s) {
+              const auto& source = ((mask >> s) & 1u)
+                                       ? delta.keys[static_cast<size_t>(s)]
+                                       : cumulative[static_cast<size_t>(s)];
+              auto it = source.find(key);
+              if (it == source.end() || it->second.empty()) {
+                all_present = false;
+              } else {
+                lists[static_cast<size_t>(s)] = &it->second;
+              }
+            }
+            if (!all_present) continue;
+
+            // Odometer over the m lists.
+            std::vector<size_t> cursor(static_cast<size_t>(num_streams_), 0);
+            JoinResult result;
+            result.partition = partition;
+            result.join_key = key;
+            result.member_seqs.assign(static_cast<size_t>(num_streams_), 0);
+            while (true) {
+              int64_t agg = 0;
+              bool first_member = true;
+              Tick min_ts = 0;
+              Tick max_ts = 0;
+              bool first_ts = true;
+              for (int s = 0; s < num_streams_; ++s) {
+                const MemberRef& member =
+                    (*lists[static_cast<size_t>(s)])[cursor[
+                        static_cast<size_t>(s)]];
+                result.member_seqs[static_cast<size_t>(s)] = member.seq;
+                if (first_ts) {
+                  min_ts = max_ts = member.timestamp;
+                  first_ts = false;
+                } else {
+                  min_ts = std::min(min_ts, member.timestamp);
+                  max_ts = std::max(max_ts, member.timestamp);
+                }
+                if (config_.projection.has_value()) {
+                  if (s == config_.projection->group_stream) {
+                    result.group_key = member.category;
+                  }
+                  agg = FoldAggregate(config_.projection->op, agg,
+                                      member.value, first_member);
+                  first_member = false;
+                }
+              }
+              if (config_.window_ticks <= 0 ||
+                  max_ts - min_ts <= config_.window_ticks) {
+                if (config_.projection.has_value()) result.agg_value = agg;
+                result.latest_member_ts = max_ts;
+                stats.result_count += 1;
+                produced_here += 1;
+                if (config_.collect_results) stats.results.push_back(result);
+              }
+
+              int s = num_streams_ - 1;
+              for (; s >= 0; --s) {
+                size_t& c = cursor[static_cast<size_t>(s)];
+                if (++c < lists[static_cast<size_t>(s)]->size()) break;
+                c = 0;
+              }
+              if (s < 0) break;
+            }
+          }
+        }
+      }
+      // Merge Δ into C.
+      for (int s = 0; s < num_streams_; ++s) {
+        auto& dst = cumulative[static_cast<size_t>(s)];
+        for (const auto& [key, refs] : delta.keys[static_cast<size_t>(s)]) {
+          std::vector<MemberRef>& bucket = dst[key];
+          bucket.insert(bucket.end(), refs.begin(), refs.end());
+        }
+      }
+    }
+
+    if (produced_here > 0) {
+      stats.partitions_cleaned += 1;
+      stats.engine_ticks[static_cast<size_t>(home)] +=
+          (produced_here + config_.results_per_tick - 1) /
+          config_.results_per_tick;
+    }
+  }
+
+  for (Tick t : stats.engine_ticks) {
+    stats.total_ticks = std::max(stats.total_ticks, t);
+  }
+  return stats;
+}
+
+}  // namespace dcape

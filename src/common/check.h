@@ -1,0 +1,46 @@
+#ifndef DCAPE_COMMON_CHECK_H_
+#define DCAPE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcape {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "DCAPE_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace dcape
+
+/// Aborts the process with a diagnostic when `cond` is false. Used for
+/// library invariants that indicate programmer error (never for
+/// data-dependent conditions — those return Status).
+#define DCAPE_CHECK(cond)                                                \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::dcape::internal_check::CheckFailed(#cond, __FILE__, __LINE__);   \
+    }                                                                    \
+  } while (false)
+
+/// Binary comparison checks with slightly better ergonomics at call sites.
+#define DCAPE_CHECK_EQ(a, b) DCAPE_CHECK((a) == (b))
+#define DCAPE_CHECK_NE(a, b) DCAPE_CHECK((a) != (b))
+#define DCAPE_CHECK_LT(a, b) DCAPE_CHECK((a) < (b))
+#define DCAPE_CHECK_LE(a, b) DCAPE_CHECK((a) <= (b))
+#define DCAPE_CHECK_GT(a, b) DCAPE_CHECK((a) > (b))
+#define DCAPE_CHECK_GE(a, b) DCAPE_CHECK((a) >= (b))
+
+/// Debug-only check; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define DCAPE_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define DCAPE_DCHECK(cond) DCAPE_CHECK(cond)
+#endif
+
+#endif  // DCAPE_COMMON_CHECK_H_

@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace dcape {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* file) {
+  const char* slash = std::strrchr(file, '/');
+  return slash != nullptr ? slash + 1 : file;
+}
+
+}  // namespace
+
+void Logging::SetLevel(LogLevel level) { g_level = level; }
+
+LogLevel Logging::level() { return g_level; }
+
+bool Logging::Enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(g_level);
+}
+
+void Logging::Emit(LogLevel level, const char* file, int line,
+                   const std::string& message) {
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file),
+               line, message.c_str());
+}
+
+}  // namespace dcape

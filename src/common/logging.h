@@ -1,0 +1,67 @@
+#ifndef DCAPE_COMMON_LOGGING_H_
+#define DCAPE_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dcape {
+
+/// Severity levels for the library logger, ordered by verbosity.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide logger configuration. The default level is kWarning so
+/// that tests and benchmarks stay quiet; examples raise it to kInfo to
+/// narrate adaptations.
+class Logging {
+ public:
+  /// Sets the minimum level that will be emitted.
+  static void SetLevel(LogLevel level);
+  /// Current minimum emitted level.
+  static LogLevel level();
+  /// True when messages at `level` would be emitted.
+  static bool Enabled(LogLevel level);
+  /// Emits one formatted line to stderr. Called by the DCAPE_LOG macro.
+  static void Emit(LogLevel level, const char* file, int line,
+                   const std::string& message);
+};
+
+namespace internal_logging {
+
+/// Accumulates one log statement's stream and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logging::Emit(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace dcape
+
+/// Streams a log line at the given severity:
+///   DCAPE_LOG(kInfo) << "relocated " << n << " groups";
+#define DCAPE_LOG(severity)                                              \
+  if (!::dcape::Logging::Enabled(::dcape::LogLevel::severity)) {         \
+  } else                                                                 \
+    ::dcape::internal_logging::LogMessage(::dcape::LogLevel::severity,   \
+                                          __FILE__, __LINE__)            \
+        .stream()
+
+#endif  // DCAPE_COMMON_LOGGING_H_

@@ -1,0 +1,172 @@
+#ifndef DCAPE_COMMON_STATUS_H_
+#define DCAPE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace dcape {
+
+/// Canonical error codes, modeled after the common database-library
+/// convention (Arrow / absl). The library never throws; fallible
+/// operations return `Status` or `StatusOr<T>`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kResourceExhausted = 6,
+  kInternal = 7,
+  kUnimplemented = 8,
+};
+
+/// Returns a stable human-readable name for `code` ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. An OK code must
+  /// not carry a message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// Factory helpers for each error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type `T` or an error `Status`. Accessing the value of
+/// an errored StatusOr aborts the process (library invariant violation).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : rep_(std::move(status)) {
+    DCAPE_CHECK(!std::get<Status>(rep_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The error status; `Status::OK()` when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(rep_);
+  }
+
+  /// The held value. Requires `ok()`.
+  const T& value() const& {
+    DCAPE_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    DCAPE_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    DCAPE_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status from an expression to the caller.
+#define DCAPE_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::dcape::Status dcape_status_macro_s_ = (expr);  \
+    if (!dcape_status_macro_s_.ok()) {               \
+      return dcape_status_macro_s_;                  \
+    }                                                \
+  } while (false)
+
+/// Evaluates a StatusOr expression; on error returns the status, otherwise
+/// move-assigns the value into `lhs`.
+#define DCAPE_ASSIGN_OR_RETURN(lhs, expr)                 \
+  DCAPE_ASSIGN_OR_RETURN_IMPL_(                           \
+      DCAPE_STATUS_MACRO_CONCAT_(dcape_sor_, __LINE__), lhs, expr)
+
+#define DCAPE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+
+#define DCAPE_STATUS_MACRO_CONCAT_INNER_(x, y) x##y
+#define DCAPE_STATUS_MACRO_CONCAT_(x, y) DCAPE_STATUS_MACRO_CONCAT_INNER_(x, y)
+
+}  // namespace dcape
+
+#endif  // DCAPE_COMMON_STATUS_H_

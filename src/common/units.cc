@@ -1,0 +1,28 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace dcape {
+
+std::string FormatBytes(int64_t bytes) {
+  char buf[64];
+  const bool negative = bytes < 0;
+  const double magnitude = negative ? -static_cast<double>(bytes)
+                                    : static_cast<double>(bytes);
+  const char* sign = negative ? "-" : "";
+  if (magnitude >= static_cast<double>(kGiB)) {
+    std::snprintf(buf, sizeof(buf), "%s%.2f GiB", sign,
+                  magnitude / static_cast<double>(kGiB));
+  } else if (magnitude >= static_cast<double>(kMiB)) {
+    std::snprintf(buf, sizeof(buf), "%s%.2f MiB", sign,
+                  magnitude / static_cast<double>(kMiB));
+  } else if (magnitude >= static_cast<double>(kKiB)) {
+    std::snprintf(buf, sizeof(buf), "%s%.2f KiB", sign,
+                  magnitude / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.0f B", sign, magnitude);
+  }
+  return std::string(buf);
+}
+
+}  // namespace dcape

@@ -1,0 +1,19 @@
+#ifndef DCAPE_COMMON_UNITS_H_
+#define DCAPE_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dcape {
+
+/// Byte-size literals used across configs.
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+/// Formats a byte count with a binary-unit suffix, e.g. "1.50 MiB".
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace dcape
+
+#endif  // DCAPE_COMMON_UNITS_H_

@@ -1,0 +1,72 @@
+#ifndef DCAPE_COMMON_VIRTUAL_CLOCK_H_
+#define DCAPE_COMMON_VIRTUAL_CLOCK_H_
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace dcape {
+
+/// Virtual time, measured in ticks. One tick is one virtual millisecond
+/// throughout the library; helpers below convert from coarser units.
+using Tick = int64_t;
+
+/// Converts seconds of virtual time to ticks.
+constexpr Tick SecondsToTicks(int64_t seconds) { return seconds * 1000; }
+
+/// Converts minutes of virtual time to ticks.
+constexpr Tick MinutesToTicks(int64_t minutes) { return minutes * 60 * 1000; }
+
+/// The cluster-wide virtual clock. The runtime driver owns the single
+/// instance and advances it monotonically; every component reads it.
+class VirtualClock {
+ public:
+  VirtualClock() : now_(0) {}
+
+  /// Current virtual time.
+  Tick now() const { return now_; }
+
+  /// Advances the clock. Time never moves backwards.
+  void AdvanceTo(Tick t) {
+    DCAPE_CHECK_GE(t, now_);
+    now_ = t;
+  }
+
+ private:
+  Tick now_;
+};
+
+/// A recurring timer in virtual time, used for the paper's ss_timer,
+/// sr_timer and lb_timer. `Expired(now)` returns true at most once per
+/// period; callers reset implicitly by the call itself.
+class PeriodicTimer {
+ public:
+  /// A timer firing every `period` ticks, first at `period` (not at 0).
+  explicit PeriodicTimer(Tick period) : period_(period), last_fire_(0) {
+    DCAPE_CHECK_GT(period, 0);
+  }
+
+  /// True once per elapsed period. Advancing multiple periods at once
+  /// still fires a single time (catch-up semantics are not needed by the
+  /// controllers, which act on current state only).
+  bool Expired(Tick now) {
+    if (now - last_fire_ >= period_) {
+      last_fire_ = now;
+      return true;
+    }
+    return false;
+  }
+
+  /// Re-arms the timer so the next expiry is a full period after `now`.
+  void Reset(Tick now) { last_fire_ = now; }
+
+  Tick period() const { return period_; }
+
+ private:
+  Tick period_;
+  Tick last_fire_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_COMMON_VIRTUAL_CLOCK_H_

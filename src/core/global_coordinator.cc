@@ -1,0 +1,345 @@
+#include "core/global_coordinator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dcape {
+
+GlobalCoordinator::GlobalCoordinator(const CoordinatorConfig& config,
+                                     Network* network)
+    : config_(config),
+      network_(network),
+      sr_timer_(config.relocation.sr_timer_period),
+      lb_timer_(config.active.lb_timer_period),
+      last_relocation_start_(
+          -config.relocation.min_time_between) {  // allow an early first one
+  DCAPE_CHECK(network_ != nullptr);
+  DCAPE_CHECK(!config_.engine_nodes.empty());
+  DCAPE_CHECK_EQ(config_.engine_nodes.size(),
+                 config_.engine_memory_thresholds.size());
+}
+
+void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
+  switch (message.type) {
+    case MessageType::kStatsReport: {
+      const auto& report = std::get<StatsReport>(message.payload);
+      latest_stats_[report.engine] = report;
+      return;
+    }
+    case MessageType::kPartitionsToMove: {
+      const auto& reply = std::get<PartitionsToMove>(message.payload);
+      if (!inflight_.has_value() || inflight_->id != reply.relocation_id ||
+          inflight_->phase != Phase::kAwaitPartitions) {
+        return;
+      }
+      if (reply.partitions.empty()) {
+        DCAPE_LOG(kInfo) << "relocation " << reply.relocation_id
+                         << " aborted: sender has no movable groups";
+        counters_.relocations_aborted += 1;
+        inflight_.reset();
+        MaybeStartQueued(now);
+        return;
+      }
+      inflight_->partitions = reply.partitions;
+      inflight_->bytes = reply.bytes;
+      inflight_->phase = Phase::kAwaitPauseAcks;
+      inflight_->acks = 0;
+      for (NodeId host : config_.split_hosts) {
+        PausePartitions pause;
+        pause.relocation_id = inflight_->id;
+        pause.partitions = inflight_->partitions;
+        pause.sender_node =
+            config_.engine_nodes[static_cast<size_t>(inflight_->sender)];
+        Message msg;
+        msg.type = MessageType::kPausePartitions;
+        msg.from = config_.node_id;
+        msg.to = host;
+        msg.payload = std::move(pause);
+        network_->Send(std::move(msg), now);
+      }
+      return;
+    }
+    case MessageType::kPauseAck: {
+      const auto& ack = std::get<PauseAck>(message.payload);
+      if (!inflight_.has_value() || inflight_->id != ack.relocation_id ||
+          inflight_->phase != Phase::kAwaitPauseAcks) {
+        return;
+      }
+      inflight_->acks += 1;
+      if (inflight_->acks <
+          static_cast<int>(config_.split_hosts.size())) {
+        return;
+      }
+      TransferStates cmd;
+      cmd.relocation_id = inflight_->id;
+      cmd.receiver = inflight_->receiver;
+      cmd.partitions = inflight_->partitions;
+      Message msg;
+      msg.type = MessageType::kTransferStates;
+      msg.from = config_.node_id;
+      msg.to = config_.engine_nodes[static_cast<size_t>(inflight_->sender)];
+      msg.payload = std::move(cmd);
+      network_->Send(std::move(msg), now);
+      inflight_->phase = Phase::kAwaitInstall;
+      return;
+    }
+    case MessageType::kStatesInstalled: {
+      const auto& installed = std::get<StatesInstalled>(message.payload);
+      if (!inflight_.has_value() || inflight_->id != installed.relocation_id ||
+          inflight_->phase != Phase::kAwaitInstall) {
+        return;
+      }
+      inflight_->phase = Phase::kAwaitRoutingAcks;
+      inflight_->acks = 0;
+      for (NodeId host : config_.split_hosts) {
+        UpdateRouting update;
+        update.relocation_id = inflight_->id;
+        update.partitions = inflight_->partitions;
+        update.new_owner = inflight_->receiver;
+        Message msg;
+        msg.type = MessageType::kUpdateRouting;
+        msg.from = config_.node_id;
+        msg.to = host;
+        msg.payload = std::move(update);
+        network_->Send(std::move(msg), now);
+      }
+      return;
+    }
+    case MessageType::kRoutingUpdated: {
+      const auto& updated = std::get<RoutingUpdated>(message.payload);
+      if (!inflight_.has_value() || inflight_->id != updated.relocation_id ||
+          inflight_->phase != Phase::kAwaitRoutingAcks) {
+        return;
+      }
+      inflight_->acks += 1;
+      if (inflight_->acks < static_cast<int>(config_.split_hosts.size())) {
+        return;
+      }
+      counters_.relocations_completed += 1;
+      counters_.bytes_relocated += inflight_->bytes;
+      DCAPE_LOG(kInfo) << "relocation " << inflight_->id << " completed: "
+                       << inflight_->partitions.size() << " groups, "
+                       << inflight_->bytes << " bytes, engine "
+                       << inflight_->sender << " -> " << inflight_->receiver;
+      inflight_.reset();
+      MaybeStartQueued(now);
+      return;
+    }
+    case MessageType::kSpillComplete: {
+      const auto& done = std::get<SpillComplete>(message.payload);
+      forced_spill_in_flight_ = false;
+      counters_.forced_spill_bytes += done.bytes_spilled;
+      return;
+    }
+    default:
+      DCAPE_LOG(kWarning) << "coordinator ignoring unexpected message "
+                          << MessageTypeName(message.type);
+      return;
+  }
+}
+
+bool GlobalCoordinator::CheckRelocation(Tick now) {
+  if (!StrategyRelocates(config_.strategy)) return false;
+  if (inflight_.has_value()) return false;
+  if (!queued_moves_.empty()) {
+    // A rebalance round is still executing; don't plan a new one.
+    MaybeStartQueued(now);
+    return true;
+  }
+  if (now - last_relocation_start_ < config_.relocation.min_time_between) {
+    return false;
+  }
+  if (latest_stats_.size() < 2) return false;
+
+  EngineId max_engine = -1;
+  EngineId min_engine = -1;
+  int64_t max_load = std::numeric_limits<int64_t>::min();
+  int64_t min_load = std::numeric_limits<int64_t>::max();
+  for (const auto& [engine, report] : latest_stats_) {
+    if (report.state_bytes > max_load) {
+      max_load = report.state_bytes;
+      max_engine = engine;
+    }
+    if (report.state_bytes < min_load) {
+      min_load = report.state_bytes;
+      min_engine = engine;
+    }
+  }
+  if (max_engine == min_engine || max_load <= 0) return false;
+  const double ratio =
+      static_cast<double>(min_load) / static_cast<double>(max_load);
+  if (ratio >= config_.relocation.theta_r) return false;
+
+  if (config_.relocation.model == RelocationModel::kPairwise) {
+    const int64_t amount = (max_load - min_load) / 2;
+    if (amount < config_.relocation.min_relocate_bytes) return false;
+    last_relocation_start_ = now;
+    StartRelocation(now, PlannedMove{max_engine, min_engine, amount});
+    return true;
+  }
+
+  // kGlobalRebalance: plan a greedy round of moves from every surplus
+  // engine toward deficit engines until all approach the mean.
+  int64_t total = 0;
+  for (const auto& [engine, report] : latest_stats_) {
+    total += report.state_bytes;
+  }
+  const int64_t mean = total / static_cast<int64_t>(latest_stats_.size());
+  std::vector<std::pair<EngineId, int64_t>> surplus;   // above mean
+  std::vector<std::pair<EngineId, int64_t>> deficit;   // below mean
+  for (const auto& [engine, report] : latest_stats_) {
+    const int64_t diff = report.state_bytes - mean;
+    if (diff > 0) surplus.emplace_back(engine, diff);
+    if (diff < 0) deficit.emplace_back(engine, -diff);
+  }
+  std::sort(surplus.begin(), surplus.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::sort(deficit.begin(), deficit.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  std::deque<PlannedMove> plan;
+  size_t si = 0;
+  size_t di = 0;
+  while (si < surplus.size() && di < deficit.size()) {
+    const int64_t amount = std::min(surplus[si].second, deficit[di].second);
+    if (amount >= config_.relocation.min_relocate_bytes) {
+      plan.push_back(
+          PlannedMove{surplus[si].first, deficit[di].first, amount});
+    }
+    surplus[si].second -= amount;
+    deficit[di].second -= amount;
+    if (surplus[si].second <= 0) ++si;
+    if (deficit[di].second <= 0) ++di;
+  }
+  if (plan.empty()) return false;
+
+  last_relocation_start_ = now;
+  queued_moves_ = std::move(plan);
+  DCAPE_LOG(kInfo) << "global rebalance planned: " << queued_moves_.size()
+                   << " moves at t=" << now;
+  MaybeStartQueued(now);
+  return true;
+}
+
+void GlobalCoordinator::StartRelocation(Tick now, const PlannedMove& move) {
+  DCAPE_CHECK(!inflight_.has_value());
+  InFlightRelocation relocation;
+  relocation.id = next_relocation_id_++;
+  relocation.sender = move.sender;
+  relocation.receiver = move.receiver;
+  relocation.phase = Phase::kAwaitPartitions;
+  inflight_ = relocation;
+  counters_.relocations_started += 1;
+
+  ComputePartitionsToMove request;
+  request.relocation_id = relocation.id;
+  request.amount_bytes = move.amount_bytes;
+  request.receiver = move.receiver;
+  Message msg;
+  msg.type = MessageType::kComputePartitionsToMove;
+  msg.from = config_.node_id;
+  msg.to = config_.engine_nodes[static_cast<size_t>(move.sender)];
+  msg.payload = request;
+  network_->Send(std::move(msg), now);
+
+  DCAPE_LOG(kInfo) << "relocation " << relocation.id << " started: engine "
+                   << move.sender << " -> engine " << move.receiver
+                   << ", amount " << move.amount_bytes << " B at t=" << now;
+}
+
+void GlobalCoordinator::MaybeStartQueued(Tick now) {
+  if (inflight_.has_value() || queued_moves_.empty()) return;
+  PlannedMove move = queued_moves_.front();
+  queued_moves_.pop_front();
+  StartRelocation(now, move);
+}
+
+void GlobalCoordinator::CheckProductivity(Tick now) {
+  if (config_.strategy != AdaptationStrategy::kActiveDisk) return;
+  if (forced_spill_in_flight_ || inflight_.has_value()) return;
+  if (latest_stats_.size() < 2) return;
+  if (counters_.forced_spill_bytes >= config_.active.max_forced_spill_bytes) {
+    return;  // the M_query − M_cluster volume guard
+  }
+
+  // "Only if extra memory is needed": aggregate usage must be pressing
+  // against the aggregate thresholds.
+  int64_t total_used = 0;
+  for (const auto& [engine, report] : latest_stats_) {
+    total_used += report.state_bytes;
+  }
+  int64_t total_capacity = 0;
+  for (int64_t threshold : config_.engine_memory_thresholds) {
+    total_capacity += threshold;
+  }
+  if (static_cast<double>(total_used) <
+      config_.active.memory_pressure * static_cast<double>(total_capacity)) {
+    return;
+  }
+
+  // Average productivity rate R per engine: outputs in the sampling
+  // window divided by the number of resident groups (§5.3).
+  EngineId min_engine = -1;
+  double min_rate = 0.0;
+  double max_rate = 0.0;
+  bool first = true;
+  for (const auto& [engine, report] : latest_stats_) {
+    if (report.num_groups <= 0 || report.state_bytes <= 0) continue;
+    const double rate = static_cast<double>(report.outputs_in_window) /
+                        static_cast<double>(report.num_groups);
+    if (first) {
+      min_rate = max_rate = rate;
+      min_engine = engine;
+      first = false;
+      continue;
+    }
+    if (rate < min_rate) {
+      min_rate = rate;
+      min_engine = engine;
+    }
+    max_rate = std::max(max_rate, rate);
+  }
+  if (first || min_engine < 0) return;
+  const bool skewed =
+      (min_rate <= 0.0) ? (max_rate > 0.0)
+                        : (max_rate / min_rate > config_.active.lambda);
+  if (!skewed) return;
+
+  const StatsReport& victim = latest_stats_[min_engine];
+  int64_t amount = static_cast<int64_t>(
+      config_.active.forced_spill_fraction *
+      static_cast<double>(victim.state_bytes));
+  amount = std::min(amount, config_.active.max_forced_spill_bytes -
+                                counters_.forced_spill_bytes);
+  if (amount <= 0) return;
+
+  forced_spill_in_flight_ = true;
+  counters_.forced_spills += 1;
+  ForceSpill cmd;
+  cmd.amount_bytes = amount;
+  Message msg;
+  msg.type = MessageType::kForceSpill;
+  msg.from = config_.node_id;
+  msg.to = config_.engine_nodes[static_cast<size_t>(min_engine)];
+  msg.payload = cmd;
+  network_->Send(std::move(msg), now);
+
+  DCAPE_LOG(kInfo) << "active-disk forced spill of " << amount
+                   << " B at engine " << min_engine << " (R_min=" << min_rate
+                   << ", R_max=" << max_rate << ") at t=" << now;
+}
+
+void GlobalCoordinator::OnTick(Tick now) {
+  bool relocated = false;
+  if (sr_timer_.Expired(now)) {
+    relocated = CheckRelocation(now);
+  }
+  if (lb_timer_.Expired(now) && !relocated) {
+    CheckProductivity(now);
+  }
+}
+
+}  // namespace dcape

@@ -1,0 +1,129 @@
+#ifndef DCAPE_CORE_GLOBAL_COORDINATOR_H_
+#define DCAPE_CORE_GLOBAL_COORDINATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/virtual_clock.h"
+#include "core/strategy.h"
+#include "net/message.h"
+#include "net/network.h"
+
+namespace dcape {
+
+/// Configuration of the global coordinator node.
+struct CoordinatorConfig {
+  NodeId node_id = kInvalidNode;
+  /// engine id -> network node (identity by cluster convention).
+  std::vector<NodeId> engine_nodes;
+  /// Nodes hosting split operators (tuples buffer there during
+  /// relocations); usually the stream-generator node.
+  std::vector<NodeId> split_hosts;
+  AdaptationStrategy strategy = AdaptationStrategy::kNoAdaptation;
+  RelocationConfig relocation;
+  ActiveDiskConfig active;
+  /// Per-engine local spill thresholds, used by the active-disk memory-
+  /// pressure guard (aggregate usage vs aggregate capacity).
+  std::vector<int64_t> engine_memory_thresholds;
+};
+
+/// The global adaptation controller (paper Fig. 4).
+///
+/// Collects each engine's lightweight statistics and makes the
+/// coarse-grained decisions: *when* to relocate, from which engine to
+/// which, and how much (pairwise (M_max − M_least)/2 rule, §4); and under
+/// active-disk, *when to force a spill* at the least productive engine
+/// (§5.3). Which concrete partition groups move or spill is delegated to
+/// the engines' local controllers — the tiered decision making the paper
+/// credits for coordinator scalability.
+///
+/// The coordinator also drives the 8-step relocation protocol state
+/// machine; at most one relocation is in flight at a time.
+class GlobalCoordinator {
+ public:
+  /// Cumulative decision counters for experiment summaries.
+  struct Counters {
+    int64_t relocations_started = 0;
+    int64_t relocations_completed = 0;
+    int64_t relocations_aborted = 0;
+    int64_t bytes_relocated = 0;
+    int64_t forced_spills = 0;
+    int64_t forced_spill_bytes = 0;
+  };
+
+  GlobalCoordinator(const CoordinatorConfig& config, Network* network);
+
+  GlobalCoordinator(const GlobalCoordinator&) = delete;
+  GlobalCoordinator& operator=(const GlobalCoordinator&) = delete;
+
+  /// Network delivery callback.
+  void OnMessage(Tick now, const Message& message);
+
+  /// Periodic decision making (sr_timer and lb_timer).
+  void OnTick(Tick now);
+
+  const Counters& counters() const { return counters_; }
+  bool relocation_in_flight() const { return inflight_.has_value(); }
+  const CoordinatorConfig& config() const { return config_; }
+
+  /// Latest stats per engine (for tests and summaries).
+  const std::map<EngineId, StatsReport>& latest_stats() const {
+    return latest_stats_;
+  }
+
+ private:
+  /// Phases of the in-flight relocation, coordinator side.
+  enum class Phase {
+    kAwaitPartitions,   // waiting for the sender's group choice
+    kAwaitPauseAcks,    // waiting for every split host to pause
+    kAwaitInstall,      // transfer authorized; waiting for the receiver
+    kAwaitRoutingAcks,  // waiting for every split host to re-route
+  };
+  struct InFlightRelocation {
+    int64_t id = 0;
+    EngineId sender = 0;
+    EngineId receiver = 0;
+    std::vector<PartitionId> partitions;
+    Phase phase = Phase::kAwaitPartitions;
+    int acks = 0;
+    int64_t bytes = 0;
+  };
+
+  /// A planned pairwise move (one 8-step protocol run).
+  struct PlannedMove {
+    EngineId sender = 0;
+    EngineId receiver = 0;
+    int64_t amount_bytes = 0;
+  };
+
+  /// The §4 relocation rule; returns true when a relocation was started
+  /// this round. Under kGlobalRebalance a whole round of moves is planned
+  /// and executed back to back.
+  bool CheckRelocation(Tick now);
+  /// Kicks off one planned move (protocol step 1).
+  void StartRelocation(Tick now, const PlannedMove& move);
+  /// Starts the next queued move, if any.
+  void MaybeStartQueued(Tick now);
+  /// The §5.3 productivity rule (active-disk forced spill).
+  void CheckProductivity(Tick now);
+
+  CoordinatorConfig config_;
+  Network* network_;
+  PeriodicTimer sr_timer_;
+  PeriodicTimer lb_timer_;
+  std::map<EngineId, StatsReport> latest_stats_;
+  std::optional<InFlightRelocation> inflight_;
+  std::deque<PlannedMove> queued_moves_;
+  Tick last_relocation_start_;
+  int64_t next_relocation_id_ = 1;
+  bool forced_spill_in_flight_ = false;
+  Counters counters_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_CORE_GLOBAL_COORDINATOR_H_

@@ -1,0 +1,41 @@
+#include "core/local_controller.h"
+
+#include "core/victim_policy.h"
+
+namespace dcape {
+
+std::vector<GroupStats> LocalController::RefinedStats(
+    const StateManager& state) const {
+  std::vector<GroupStats> stats =
+      state.SnapshotStats(/*exclude_locked=*/true);
+  tracker_.Refine(&stats);
+  return stats;
+}
+
+void LocalController::RollProductivityWindow(const StateManager& state) {
+  tracker_.Roll(state.SnapshotStats(/*exclude_locked=*/false));
+}
+
+std::vector<PartitionId> LocalController::CheckSpill(Tick now,
+                                                     const StateManager& state) {
+  if (!ss_timer_.Expired(now)) return {};
+  if (state.total_bytes() <= config_.memory_threshold_bytes) return {};
+  const int64_t target = static_cast<int64_t>(
+      config_.spill_fraction * static_cast<double>(state.total_bytes()));
+  return SelectSpillVictims(RefinedStats(state), config_.policy, target,
+                            &rng_);
+}
+
+std::vector<PartitionId> LocalController::ChooseForcedSpillVictims(
+    const StateManager& state, int64_t amount_bytes) {
+  return SelectSpillVictims(RefinedStats(state),
+                            SpillPolicy::kLeastProductiveFirst, amount_bytes,
+                            &rng_);
+}
+
+std::vector<PartitionId> LocalController::ChoosePartitionsToMove(
+    const StateManager& state, int64_t amount_bytes) {
+  return SelectRelocationCandidates(RefinedStats(state), amount_bytes);
+}
+
+}  // namespace dcape

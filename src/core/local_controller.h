@@ -1,0 +1,72 @@
+#ifndef DCAPE_CORE_LOCAL_CONTROLLER_H_
+#define DCAPE_CORE_LOCAL_CONTROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/virtual_clock.h"
+#include "core/productivity.h"
+#include "core/strategy.h"
+#include "state/state_manager.h"
+
+namespace dcape {
+
+/// The per-engine local adaptation controller (paper §2, Fig. 4).
+///
+/// It owns the *fine-grained* decisions: which partition groups to spill
+/// when the engine's memory overflows (least productive first, k% of
+/// state), and which groups to offer when the global coordinator asks for
+/// `amount` bytes to relocate (most productive first). The *coarse*
+/// decisions — when to relocate, between which engines, and when to force
+/// a spill — belong to the GlobalCoordinator.
+class LocalController {
+ public:
+  LocalController(const SpillConfig& config,
+                  const ProductivityConfig& productivity, uint64_t seed)
+      : config_(config),
+        tracker_(productivity),
+        rng_(seed),
+        ss_timer_(config.ss_timer_period) {}
+
+  LocalController(const LocalController&) = delete;
+  LocalController& operator=(const LocalController&) = delete;
+
+  /// The ss_timer check (Algorithm 1, "ss_timer_expired"): if the tracked
+  /// memory exceeds threshold^mem, returns the spill victims — k% of the
+  /// resident state ranked by the configured policy, excluding groups
+  /// locked by an in-flight relocation. Empty result means "no spill".
+  std::vector<PartitionId> CheckSpill(Tick now, const StateManager& state);
+
+  /// Victim selection for a coordinator-forced spill (active-disk
+  /// "start_ss"): `amount_bytes` of the least productive unlocked groups.
+  std::vector<PartitionId> ChooseForcedSpillVictims(const StateManager& state,
+                                                    int64_t amount_bytes);
+
+  /// Selection for relocation step 2 ("computePartsToMove"): the most
+  /// productive unlocked groups totaling `amount_bytes`.
+  std::vector<PartitionId> ChoosePartitionsToMove(const StateManager& state,
+                                                  int64_t amount_bytes);
+
+  /// Advances the productivity estimator by one statistics window (the
+  /// engine calls this on its stats timer). A no-op for the cumulative
+  /// model.
+  void RollProductivityWindow(const StateManager& state);
+
+  const SpillConfig& config() const { return config_; }
+  const ProductivityTracker& tracker() const { return tracker_; }
+
+ private:
+  /// Stats snapshot with model-refined productivity values.
+  std::vector<GroupStats> RefinedStats(const StateManager& state) const;
+
+  SpillConfig config_;
+  ProductivityTracker tracker_;
+  Rng rng_;
+  PeriodicTimer ss_timer_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_CORE_LOCAL_CONTROLLER_H_

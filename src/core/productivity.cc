@@ -1,0 +1,69 @@
+#include "core/productivity.h"
+
+#include <set>
+#include <string>
+
+#include "common/check.h"
+
+namespace dcape {
+
+const char* ProductivityModelName(ProductivityModel model) {
+  switch (model) {
+    case ProductivityModel::kCumulative:
+      return "cumulative";
+    case ProductivityModel::kEwma:
+      return "ewma";
+  }
+  return "unknown";
+}
+
+StatusOr<ProductivityModel> ParseProductivityModel(std::string_view name) {
+  if (name == "cumulative") return ProductivityModel::kCumulative;
+  if (name == "ewma") return ProductivityModel::kEwma;
+  return Status::InvalidArgument("unknown productivity model: '" +
+                                 std::string(name) + "'");
+}
+
+void ProductivityTracker::Roll(const std::vector<GroupStats>& stats) {
+  if (config_.model != ProductivityModel::kEwma) return;
+  DCAPE_CHECK_GT(config_.ewma_alpha, 0.0);
+  DCAPE_CHECK_LE(config_.ewma_alpha, 1.0);
+
+  std::set<PartitionId> alive;
+  for (const GroupStats& g : stats) {
+    alive.insert(g.partition);
+    GroupWindow& window = windows_[g.partition];
+    const int64_t delta =
+        g.outputs - (window.seen ? window.last_outputs : 0);
+    const double instant =
+        g.bytes > 0 ? static_cast<double>(delta) / static_cast<double>(g.bytes)
+                    : 0.0;
+    if (!window.seen) {
+      window.ewma = instant;
+    } else {
+      window.ewma = config_.ewma_alpha * instant +
+                    (1.0 - config_.ewma_alpha) * window.ewma;
+    }
+    window.last_outputs = g.outputs;
+    window.seen = true;
+  }
+  // Drop state for groups no longer resident (spilled/relocated); if the
+  // partition regrows it starts a fresh window.
+  for (auto it = windows_.begin(); it != windows_.end();) {
+    if (alive.count(it->first) == 0) {
+      it = windows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ProductivityTracker::Refine(std::vector<GroupStats>* stats) const {
+  if (config_.model != ProductivityModel::kEwma) return;
+  for (GroupStats& g : *stats) {
+    auto it = windows_.find(g.partition);
+    g.productivity = (it != windows_.end()) ? it->second.ewma : 0.0;
+  }
+}
+
+}  // namespace dcape

@@ -1,0 +1,78 @@
+#ifndef DCAPE_CORE_PRODUCTIVITY_H_
+#define DCAPE_CORE_PRODUCTIVITY_H_
+
+#include <cstdint>
+#include <map>
+#include <string_view>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "state/partition_group.h"
+
+namespace dcape {
+
+/// How partition-group productivity is estimated for the adaptation
+/// policies. The paper's default is the cumulative P_output/P_size
+/// ratio; §2 explicitly suggests "snapshots of historical values with
+/// higher weights on more recent values using an amortized weight
+/// function" for workloads whose behaviour shifts over time — that is
+/// the EWMA model.
+enum class ProductivityModel {
+  /// Cumulative outputs per state byte (the paper's metric).
+  kCumulative,
+  /// Exponentially weighted moving average of the *windowed* output per
+  /// byte: groups that stopped producing decay toward 0 even if they
+  /// were productive long ago.
+  kEwma,
+};
+
+/// Returns a stable display name ("cumulative", "ewma").
+const char* ProductivityModelName(ProductivityModel model);
+
+/// Parses a display name back to the enum.
+StatusOr<ProductivityModel> ParseProductivityModel(std::string_view name);
+
+/// Estimator settings.
+struct ProductivityConfig {
+  ProductivityModel model = ProductivityModel::kCumulative;
+  /// EWMA weight of the newest window (0 < alpha <= 1).
+  double ewma_alpha = 0.5;
+};
+
+/// Maintains per-group productivity estimates across sampling windows.
+///
+/// Mechanically separate from PartitionGroup so the group stays a pure
+/// state container: the engine calls `Roll` once per statistics window
+/// with the current raw stats, and `Refine` rewrites each snapshot's
+/// `productivity` field according to the configured model before the
+/// policies rank groups.
+class ProductivityTracker {
+ public:
+  explicit ProductivityTracker(const ProductivityConfig& config)
+      : config_(config) {}
+
+  /// Advances one sampling window: folds each group's output delta since
+  /// the previous Roll into its EWMA. Groups absent from `stats` (spilled
+  /// or relocated away) are forgotten.
+  void Roll(const std::vector<GroupStats>& stats);
+
+  /// Overwrites `stats[i].productivity` with the model's estimate. For
+  /// kCumulative this is the identity.
+  void Refine(std::vector<GroupStats>* stats) const;
+
+  const ProductivityConfig& config() const { return config_; }
+
+ private:
+  struct GroupWindow {
+    int64_t last_outputs = 0;
+    double ewma = 0.0;
+    bool seen = false;
+  };
+
+  ProductivityConfig config_;
+  std::map<PartitionId, GroupWindow> windows_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_CORE_PRODUCTIVITY_H_

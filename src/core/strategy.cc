@@ -1,0 +1,87 @@
+#include "core/strategy.h"
+
+#include <string>
+
+namespace dcape {
+namespace {
+
+template <typename Enum>
+StatusOr<Enum> ParseByName(std::string_view name,
+                           std::initializer_list<Enum> values,
+                           const char* (*to_name)(Enum), const char* what) {
+  for (Enum value : values) {
+    if (name == to_name(value)) return value;
+  }
+  return Status::InvalidArgument("unknown " + std::string(what) + ": '" +
+                                 std::string(name) + "'");
+}
+
+}  // namespace
+
+const char* StrategyName(AdaptationStrategy strategy) {
+  switch (strategy) {
+    case AdaptationStrategy::kNoAdaptation:
+      return "all-mem";
+    case AdaptationStrategy::kSpillOnly:
+      return "spill-only";
+    case AdaptationStrategy::kRelocationOnly:
+      return "relocation-only";
+    case AdaptationStrategy::kLazyDisk:
+      return "lazy-disk";
+    case AdaptationStrategy::kActiveDisk:
+      return "active-disk";
+  }
+  return "unknown";
+}
+
+const char* RelocationModelName(RelocationModel model) {
+  switch (model) {
+    case RelocationModel::kPairwise:
+      return "pairwise";
+    case RelocationModel::kGlobalRebalance:
+      return "global-rebalance";
+  }
+  return "unknown";
+}
+
+const char* SpillPolicyName(SpillPolicy policy) {
+  switch (policy) {
+    case SpillPolicy::kLeastProductiveFirst:
+      return "push-less-productive";
+    case SpillPolicy::kMostProductiveFirst:
+      return "push-more-productive";
+    case SpillPolicy::kLargestFirst:
+      return "push-largest";
+    case SpillPolicy::kSmallestFirst:
+      return "push-smallest";
+    case SpillPolicy::kRandom:
+      return "push-random";
+  }
+  return "unknown";
+}
+
+StatusOr<AdaptationStrategy> ParseStrategy(std::string_view name) {
+  return ParseByName(
+      name,
+      {AdaptationStrategy::kNoAdaptation, AdaptationStrategy::kSpillOnly,
+       AdaptationStrategy::kRelocationOnly, AdaptationStrategy::kLazyDisk,
+       AdaptationStrategy::kActiveDisk},
+      &StrategyName, "strategy");
+}
+
+StatusOr<RelocationModel> ParseRelocationModel(std::string_view name) {
+  return ParseByName(
+      name, {RelocationModel::kPairwise, RelocationModel::kGlobalRebalance},
+      &RelocationModelName, "relocation model");
+}
+
+StatusOr<SpillPolicy> ParseSpillPolicy(std::string_view name) {
+  return ParseByName(
+      name,
+      {SpillPolicy::kLeastProductiveFirst, SpillPolicy::kMostProductiveFirst,
+       SpillPolicy::kLargestFirst, SpillPolicy::kSmallestFirst,
+       SpillPolicy::kRandom},
+      &SpillPolicyName, "spill policy");
+}
+
+}  // namespace dcape

@@ -1,0 +1,159 @@
+#ifndef DCAPE_CORE_STRATEGY_H_
+#define DCAPE_CORE_STRATEGY_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "common/virtual_clock.h"
+
+namespace dcape {
+
+/// The run-time adaptation strategies evaluated by the paper.
+enum class AdaptationStrategy {
+  /// No adaptation at all — the "All-Mem" baseline (memory unbounded).
+  kNoAdaptation,
+  /// Local state spill only — the "no-relocation" baseline of
+  /// Figs. 11–12: each engine spills k% of its state when its memory
+  /// threshold is exceeded.
+  kSpillOnly,
+  /// Pairwise state relocation only (§4) — no disk is ever touched.
+  kRelocationOnly,
+  /// Lazy-disk (§5.1, Algorithm 1): relocation preferred globally, spill
+  /// as a purely local last resort.
+  kLazyDisk,
+  /// Active-disk (§5.3, Algorithm 2): lazy-disk plus globally coordinated
+  /// forced spills at the least-productive engine.
+  kActiveDisk,
+};
+
+/// Returns a stable display name ("lazy-disk", ...).
+const char* StrategyName(AdaptationStrategy strategy);
+
+/// Parses a display name back to the enum (InvalidArgument on unknown).
+StatusOr<AdaptationStrategy> ParseStrategy(std::string_view name);
+
+/// True when the strategy lets engines spill locally on memory overflow.
+constexpr bool StrategySpillsLocally(AdaptationStrategy s) {
+  return s == AdaptationStrategy::kSpillOnly ||
+         s == AdaptationStrategy::kLazyDisk ||
+         s == AdaptationStrategy::kActiveDisk;
+}
+
+/// True when the global coordinator runs the relocation rule.
+constexpr bool StrategyRelocates(AdaptationStrategy s) {
+  return s == AdaptationStrategy::kRelocationOnly ||
+         s == AdaptationStrategy::kLazyDisk ||
+         s == AdaptationStrategy::kActiveDisk;
+}
+
+/// How the local controller ranks spill victims.
+enum class SpillPolicy {
+  /// Push the smallest P_output/P_size first — the paper's
+  /// throughput-oriented policy ("push-less-productive").
+  kLeastProductiveFirst,
+  /// Push the largest P_output/P_size first — the adversarial baseline
+  /// of Fig. 7 ("push-more-productive").
+  kMostProductiveFirst,
+  /// Push the largest partition first — XJoin's flush policy [25].
+  kLargestFirst,
+  /// Push the smallest partition first.
+  kSmallestFirst,
+  /// Uniformly random victims — used by the k% sensitivity experiment
+  /// (Figs. 5–6), which isolates the *amount* pushed from the choice.
+  kRandom,
+};
+
+/// Returns a stable display name ("push-less-productive", ...).
+const char* SpillPolicyName(SpillPolicy policy);
+
+/// Parses a display name back to the enum.
+StatusOr<SpillPolicy> ParseSpillPolicy(std::string_view name);
+
+/// Local spill controller settings (the paper's threshold^mem, s_timer and
+/// the k% push volume of §3.2).
+struct SpillConfig {
+  /// Memory threshold triggering a local spill (200 MB in §3.2; benches
+  /// scale this down together with the input rate).
+  int64_t memory_threshold_bytes = 200 * kMiB;
+  /// Fraction of resident state pushed per spill (k%; 30% default per the
+  /// paper's sensitivity result).
+  double spill_fraction = 0.30;
+  SpillPolicy policy = SpillPolicy::kLeastProductiveFirst;
+  /// How often each engine checks its memory (s_timer).
+  Tick ss_timer_period = SecondsToTicks(5);
+};
+
+/// Online state restore (paper §3: the state cleanup "can be performed at
+/// any time when memory becomes available"). When enabled, an engine
+/// whose tracked memory falls below `low_watermark ×
+/// memory_threshold_bytes` reads its oldest disk generation back (if the
+/// whole generation fits), immediately produces the cross-generation
+/// results it owes, and merges it into the memory-resident group —
+/// shrinking the end-of-run cleanup debt while resources are idle.
+struct RestoreConfig {
+  /// Ignored (inert) when window semantics are enabled: restoring a
+  /// generation removes it from the disk inventory, but under windows an
+  /// *eviction generation* may still owe cross results against it —
+  /// those are only produced by the end-of-run cleanup.
+  bool enabled = false;
+  /// Restore only below this fraction of the spill threshold.
+  double low_watermark = 0.5;
+  /// How often the engine checks for restore opportunities.
+  Tick check_period = SecondsToTicks(10);
+};
+
+/// How the coordinator plans relocations once the θ_r rule triggers.
+enum class RelocationModel {
+  /// The paper's scheme: one move of (M_max − M_least)/2 from the most-
+  /// to the least-loaded engine per round.
+  kPairwise,
+  /// A full rebalance round: a greedy sequence of pairwise moves from
+  /// every above-average engine toward below-average engines until all
+  /// are near the mean (the moves still execute one at a time through
+  /// the same 8-step protocol). The paper notes such alternate models
+  /// "could fairly easily be incorporated" — this is one.
+  kGlobalRebalance,
+};
+
+/// Returns a stable display name ("pairwise", "global-rebalance").
+const char* RelocationModelName(RelocationModel model);
+
+/// Parses a display name back to the enum.
+StatusOr<RelocationModel> ParseRelocationModel(std::string_view name);
+
+/// Global relocation settings (threshold^sr = θ_r, sr_timer, τ_m of §4.2).
+struct RelocationConfig {
+  RelocationModel model = RelocationModel::kPairwise;
+  /// Relocate when M_least / M_max < θ_r.
+  double theta_r = 0.8;
+  /// Minimal time span between two consecutive relocations (τ_m).
+  Tick min_time_between = SecondsToTicks(45);
+  /// How often the coordinator evaluates the rule (sr_timer).
+  Tick sr_timer_period = SecondsToTicks(10);
+  /// Ignore imbalances smaller than this (avoids thrashing on noise).
+  int64_t min_relocate_bytes = 256 * kKiB;
+};
+
+/// Active-disk settings (threshold^prod = λ, lb_timer, and the paper's
+/// cap on coordinator-forced spill volume, §5.3–5.4).
+struct ActiveDiskConfig {
+  /// Force a spill when R_max / R_min > λ (λ = 2 in Fig. 13).
+  double lambda = 2.0;
+  /// How often the coordinator evaluates productivity (lb_timer).
+  Tick lb_timer_period = SecondsToTicks(30);
+  /// Forced spills only fire when aggregate cluster memory use exceeds
+  /// this fraction of the aggregate thresholds ("only if extra memory is
+  /// needed").
+  double memory_pressure = 0.5;
+  /// Total cap on coordinator-forced spill volume — the paper's
+  /// M_query − M_cluster guard (100 MB in their runs).
+  int64_t max_forced_spill_bytes = 100 * kMiB;
+  /// Amount per forced spill, as a fraction of the target engine's state.
+  double forced_spill_fraction = 0.30;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_CORE_STRATEGY_H_

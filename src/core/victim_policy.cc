@@ -1,0 +1,92 @@
+#include "core/victim_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcape {
+namespace {
+
+/// Takes the ranked prefix reaching `target_bytes`.
+std::vector<PartitionId> TakePrefix(const std::vector<GroupStats>& stats,
+                                    int64_t target_bytes) {
+  std::vector<PartitionId> selected;
+  int64_t accumulated = 0;
+  for (const GroupStats& g : stats) {
+    if (accumulated >= target_bytes && !selected.empty()) break;
+    if (g.bytes <= 0) continue;
+    selected.push_back(g.partition);
+    accumulated += g.bytes;
+  }
+  return selected;
+}
+
+}  // namespace
+
+std::vector<PartitionId> SelectSpillVictims(std::vector<GroupStats> stats,
+                                            SpillPolicy policy,
+                                            int64_t target_bytes, Rng* rng) {
+  if (target_bytes <= 0 || stats.empty()) return {};
+  switch (policy) {
+    case SpillPolicy::kLeastProductiveFirst:
+      std::sort(stats.begin(), stats.end(),
+                [](const GroupStats& a, const GroupStats& b) {
+                  if (a.productivity != b.productivity) {
+                    return a.productivity < b.productivity;
+                  }
+                  return a.partition < b.partition;
+                });
+      break;
+    case SpillPolicy::kMostProductiveFirst:
+      std::sort(stats.begin(), stats.end(),
+                [](const GroupStats& a, const GroupStats& b) {
+                  if (a.productivity != b.productivity) {
+                    return a.productivity > b.productivity;
+                  }
+                  return a.partition < b.partition;
+                });
+      break;
+    case SpillPolicy::kLargestFirst:
+      std::sort(stats.begin(), stats.end(),
+                [](const GroupStats& a, const GroupStats& b) {
+                  if (a.bytes != b.bytes) return a.bytes > b.bytes;
+                  return a.partition < b.partition;
+                });
+      break;
+    case SpillPolicy::kSmallestFirst:
+      std::sort(stats.begin(), stats.end(),
+                [](const GroupStats& a, const GroupStats& b) {
+                  if (a.bytes != b.bytes) return a.bytes < b.bytes;
+                  return a.partition < b.partition;
+                });
+      break;
+    case SpillPolicy::kRandom: {
+      DCAPE_CHECK(rng != nullptr);
+      // Sort by id first so the shuffle depends only on the rng sequence.
+      std::sort(stats.begin(), stats.end(),
+                [](const GroupStats& a, const GroupStats& b) {
+                  return a.partition < b.partition;
+                });
+      for (size_t i = stats.size(); i > 1; --i) {
+        std::swap(stats[i - 1], stats[rng->Uniform(i)]);
+      }
+      break;
+    }
+  }
+  return TakePrefix(stats, target_bytes);
+}
+
+std::vector<PartitionId> SelectRelocationCandidates(
+    std::vector<GroupStats> stats, int64_t target_bytes) {
+  if (target_bytes <= 0 || stats.empty()) return {};
+  std::sort(stats.begin(), stats.end(),
+            [](const GroupStats& a, const GroupStats& b) {
+              if (a.productivity != b.productivity) {
+                return a.productivity > b.productivity;
+              }
+              return a.partition < b.partition;
+            });
+  return TakePrefix(stats, target_bytes);
+}
+
+}  // namespace dcape

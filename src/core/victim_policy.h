@@ -1,0 +1,35 @@
+#ifndef DCAPE_CORE_VICTIM_POLICY_H_
+#define DCAPE_CORE_VICTIM_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "core/strategy.h"
+#include "state/partition_group.h"
+
+namespace dcape {
+
+/// Ranks partition groups under `policy` and selects a prefix whose
+/// cumulative size reaches `target_bytes` (at least one group when any is
+/// available and `target_bytes > 0`). Ties break on partition id so runs
+/// are deterministic. `rng` is required for SpillPolicy::kRandom and
+/// ignored otherwise.
+///
+/// This implements the paper's spill victim selection: the productivity
+/// metric P_output/P_size decides which state leaves memory (§3,
+/// "Throughput-Oriented Spill").
+std::vector<PartitionId> SelectSpillVictims(std::vector<GroupStats> stats,
+                                            SpillPolicy policy,
+                                            int64_t target_bytes, Rng* rng);
+
+/// Selects partition groups to *relocate*: most productive first, until
+/// `target_bytes` is reached (§5.1 — productive state should stay in main
+/// memory, so it is what gets moved to the machine that still has room).
+std::vector<PartitionId> SelectRelocationCandidates(
+    std::vector<GroupStats> stats, int64_t target_bytes);
+
+}  // namespace dcape
+
+#endif  // DCAPE_CORE_VICTIM_POLICY_H_

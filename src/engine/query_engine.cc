@@ -1,0 +1,391 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "state/group_merge.h"
+#include "stream/stream_generator.h"
+
+namespace dcape {
+
+QueryEngine::QueryEngine(const EngineConfig& config, Network* network,
+                         const SpillStore::Config& disk_config,
+                         std::unique_ptr<DiskBackend> disk_backend)
+    : config_(config),
+      network_(network),
+      spill_store_(config.engine_id, disk_config, std::move(disk_backend)),
+      mjoin_(config.num_streams, &spill_store_, config.projection,
+             config.window_ticks),
+      controller_(config.spill, config.productivity, config.seed),
+      stats_timer_(config.stats_period),
+      restore_timer_(config.restore.check_period),
+      evict_timer_(config.evict_period) {
+  DCAPE_CHECK(network_ != nullptr);
+}
+
+void QueryEngine::OnMessage(Tick now, const Message& message) {
+  switch (message.type) {
+    case MessageType::kTupleBatch: {
+      const auto& batch = std::get<TupleBatch>(message.payload);
+      if (now >= busy_until_ && pending_batches_.empty()) {
+        ProcessBatch(now, batch);
+      } else {
+        pending_batches_.push_back(batch);
+      }
+      return;
+    }
+    case MessageType::kComputePartitionsToMove: {
+      const auto& req = std::get<ComputePartitionsToMove>(message.payload);
+      // Algorithm 1's "cptv" event: pick the most productive groups worth
+      // `amount_bytes` and lock them against concurrent spills.
+      mode_ = EngineMode::kStateRelocation;
+      std::vector<PartitionId> parts = controller_.ChoosePartitionsToMove(
+          mjoin_.state(), req.amount_bytes);
+      mjoin_.state().LockGroups(parts);
+      OutgoingRelocation& out = outgoing_[req.relocation_id];
+      out.receiver = req.receiver;
+      out.partitions = parts;
+
+      PartitionsToMove reply;
+      reply.relocation_id = req.relocation_id;
+      reply.sender = config_.engine_id;
+      reply.partitions = parts;
+      for (PartitionId p : parts) {
+        const PartitionGroup* g = mjoin_.state().FindGroup(p);
+        if (g != nullptr) reply.bytes += g->bytes();
+      }
+      Message msg;
+      msg.type = MessageType::kPartitionsToMove;
+      msg.from = config_.node_id;
+      msg.to = config_.coordinator_node;
+      msg.payload = std::move(reply);
+      network_->Send(std::move(msg), now);
+      if (parts.empty()) {
+        // Nothing to move; the coordinator aborts this relocation.
+        outgoing_.erase(req.relocation_id);
+        mode_ = EngineMode::kNormal;
+      }
+      return;
+    }
+    case MessageType::kDrainMarker: {
+      const auto& marker = std::get<DrainMarker>(message.payload);
+      auto it = outgoing_.find(marker.relocation_id);
+      if (it == outgoing_.end()) return;  // aborted relocation
+      it->second.drain_markers += 1;
+      MaybeFinishOutgoing(now, marker.relocation_id);
+      return;
+    }
+    case MessageType::kTransferStates: {
+      const auto& cmd = std::get<TransferStates>(message.payload);
+      auto it = outgoing_.find(cmd.relocation_id);
+      if (it == outgoing_.end()) return;
+      it->second.transfer_authorized = true;
+      MaybeFinishOutgoing(now, cmd.relocation_id);
+      return;
+    }
+    case MessageType::kStateTransfer: {
+      const auto& transfer = std::get<StateTransfer>(message.payload);
+      int64_t installed_bytes = 0;
+      for (const SerializedGroup& group : transfer.groups) {
+        const int64_t before = mjoin_.state().total_bytes();
+        Status status = mjoin_.state().InstallGroup(group.bytes);
+        if (!status.ok()) {
+          DCAPE_LOG(kError) << "engine " << config_.engine_id
+                            << " failed to install relocated group "
+                            << group.partition << ": " << status.ToString();
+          continue;
+        }
+        installed_bytes += mjoin_.state().total_bytes() - before;
+      }
+      counters_.relocations_in += 1;
+      counters_.bytes_relocated_in += installed_bytes;
+
+      StatesInstalled ack;
+      ack.relocation_id = transfer.relocation_id;
+      ack.receiver = config_.engine_id;
+      ack.bytes = installed_bytes;
+      Message msg;
+      msg.type = MessageType::kStatesInstalled;
+      msg.from = config_.node_id;
+      msg.to = config_.coordinator_node;
+      msg.payload = ack;
+      network_->Send(std::move(msg), now);
+      return;
+    }
+    case MessageType::kForceSpill: {
+      const auto& cmd = std::get<ForceSpill>(message.payload);
+      std::vector<PartitionId> victims = controller_.ChooseForcedSpillVictims(
+          mjoin_.state(), cmd.amount_bytes);
+      const int64_t before = spill_store_.total_spilled_bytes();
+      if (!victims.empty()) DoSpill(now, victims, /*forced=*/true);
+
+      SpillComplete done;
+      done.engine = config_.engine_id;
+      done.bytes_spilled = spill_store_.total_spilled_bytes() - before;
+      Message msg;
+      msg.type = MessageType::kSpillComplete;
+      msg.from = config_.node_id;
+      msg.to = config_.coordinator_node;
+      msg.payload = done;
+      network_->Send(std::move(msg), now);
+      return;
+    }
+    default:
+      DCAPE_LOG(kWarning) << "engine " << config_.engine_id
+                          << " ignoring unexpected message "
+                          << MessageTypeName(message.type);
+      return;
+  }
+}
+
+void QueryEngine::ProcessBatch(Tick now, const TupleBatch& batch) {
+  std::vector<JoinResult> results;
+  for (const Tuple& tuple : batch.tuples) {
+    const PartitionId partition =
+        StreamGenerator::PartitionOfKey(tuple.join_key);
+    mjoin_.Process(partition, tuple, &results);
+    counters_.tuples_processed += 1;
+  }
+  if (!results.empty()) {
+    counters_.results_produced += static_cast<int64_t>(results.size());
+    outputs_in_window_ += static_cast<int64_t>(results.size());
+    ResultBatch out;
+    out.results = std::move(results);
+    network_->Send(
+        MakeResultBatchMessage(config_.node_id, config_.sink_node,
+                               std::move(out)),
+        now);
+  }
+}
+
+void QueryEngine::DrainPending(Tick now) {
+  while (!pending_batches_.empty() && now >= busy_until_) {
+    TupleBatch batch = std::move(pending_batches_.front());
+    pending_batches_.pop_front();
+    ProcessBatch(now, batch);
+  }
+}
+
+void QueryEngine::DoSpill(Tick now, const std::vector<PartitionId>& victims,
+                          bool forced) {
+  const EngineMode previous_mode = mode_;
+  mode_ = EngineMode::kStateSpill;
+  StatusOr<MJoin::SpillOutcome> outcome = mjoin_.SpillPartitions(victims, now);
+  DCAPE_CHECK(outcome.ok());
+  counters_.spilled_bytes += outcome->bytes;
+  if (forced) {
+    counters_.forced_spill_events += 1;
+  } else {
+    counters_.spill_events += 1;
+  }
+  busy_until_ = std::max(busy_until_, now) + outcome->io_ticks;
+  DCAPE_LOG(kInfo) << "engine " << config_.engine_id << " spilled "
+                   << outcome->groups << " groups, " << outcome->bytes
+                   << " bytes" << (forced ? " (forced)" : "") << " at t="
+                   << now;
+  mode_ = previous_mode;
+}
+
+void QueryEngine::EvictExpired(Tick now) {
+  const Tick cutoff = now - config_.window_ticks;
+  if (cutoff <= 0) return;
+  std::vector<StateManager::ExtractedGroup> evicted =
+      mjoin_.state().EvictExpired(cutoff);
+  if (evicted.empty()) return;
+
+  // Partitions with disk-resident generations still owe cross-generation
+  // results involving the expired tuples; preserve those as eviction
+  // generations. Expired tuples of purely memory-resident partitions
+  // produced everything they ever will (window + monotonic arrivals) and
+  // can be dropped.
+  std::set<PartitionId> has_disk;
+  for (const SpillSegmentMeta& meta : spill_store_.segments()) {
+    has_disk.insert(meta.partition);
+  }
+  int64_t dropped = 0;
+  for (StateManager::ExtractedGroup& group : evicted) {
+    counters_.evicted_tuples += group.tuple_count;
+    if (has_disk.count(group.partition) == 0) {
+      ++dropped;
+      continue;
+    }
+    StatusOr<Tick> io = spill_store_.WriteSegment(
+        group.partition, now, group.blob, group.tuple_count,
+        /*evicted=*/true);
+    DCAPE_CHECK(io.ok());
+    busy_until_ = std::max(busy_until_, now) + *io;
+    counters_.eviction_segments += 1;
+  }
+  DCAPE_LOG(kDebug) << "engine " << config_.engine_id << " evicted "
+                    << evicted.size() << " groups (" << dropped
+                    << " dropped) at t=" << now;
+}
+
+void QueryEngine::MaybeRestore(Tick now) {
+  // Online restore is only sound without window semantics: with windows,
+  // eviction generations may owe results against a generation that
+  // restore would remove from the disk inventory (see window_test.cc).
+  // The end-of-run cleanup handles everything in that mode.
+  if (config_.window_ticks > 0) return;
+  const int64_t watermark = static_cast<int64_t>(
+      config_.restore.low_watermark *
+      static_cast<double>(config_.spill.memory_threshold_bytes));
+  if (state_bytes() >= watermark) return;
+  if (spill_store_.segments().empty()) return;
+
+  // Oldest generation whose partition this engine still owns (has a
+  // live memory-resident group — otherwise the partition was relocated
+  // away and restoring it here would create a second copy that a later
+  // relocation could merge without producing the owed cross results),
+  // is not mid-relocation, and fits under the spill threshold.
+  const SpillSegmentMeta* chosen = nullptr;
+  for (const SpillSegmentMeta& meta : spill_store_.segments()) {
+    if (mjoin_.state().IsLocked(meta.partition)) continue;
+    if (mjoin_.state().FindGroup(meta.partition) == nullptr) continue;
+    if (state_bytes() + meta.bytes >
+        config_.spill.memory_threshold_bytes) {
+      continue;
+    }
+    chosen = &meta;
+    break;
+  }
+  if (chosen == nullptr) return;
+
+  Tick io_ticks = 0;
+  StatusOr<std::string> blob = spill_store_.ReadSegment(*chosen, &io_ticks);
+  if (!blob.ok()) {
+    DCAPE_LOG(kError) << "engine " << config_.engine_id
+                      << " failed to read segment for restore: "
+                      << blob.status().ToString();
+    return;
+  }
+  StatusOr<PartitionGroup> generation = PartitionGroup::Deserialize(*blob);
+  if (!generation.ok()) {
+    DCAPE_LOG(kError) << "engine " << config_.engine_id
+                      << " failed to decode restored generation: "
+                      << generation.status().ToString();
+    return;
+  }
+
+  // Produce the cross-generation results this generation owes against
+  // the current memory-resident group, then merge.
+  std::vector<JoinResult> results;
+  const PartitionGroup* resident =
+      mjoin_.state().FindGroup(chosen->partition);
+  const ResultProjection* projection =
+      mjoin_.state().projection().has_value()
+          ? &*mjoin_.state().projection()
+          : nullptr;
+  if (resident != nullptr) {
+    CrossJoinGenerations(*generation, *resident, projection, &results,
+                         config_.window_ticks);
+  }
+
+  const int64_t segment_id = chosen->segment_id;
+  const int64_t bytes = chosen->bytes;
+  DCAPE_CHECK(mjoin_.state().InstallGroup(*blob).ok());
+  DCAPE_CHECK(spill_store_.RemoveSegment(segment_id).ok());
+  busy_until_ = std::max(busy_until_, now) + io_ticks;
+
+  counters_.restored_segments += 1;
+  counters_.restored_bytes += bytes;
+  counters_.restored_results += static_cast<int64_t>(results.size());
+  DCAPE_LOG(kInfo) << "engine " << config_.engine_id << " restored segment "
+                   << segment_id << " (" << bytes << " B), producing "
+                   << results.size() << " deferred results at t=" << now;
+
+  if (!results.empty()) {
+    counters_.results_produced += static_cast<int64_t>(results.size());
+    outputs_in_window_ += static_cast<int64_t>(results.size());
+    ResultBatch out;
+    out.results = std::move(results);
+    network_->Send(MakeResultBatchMessage(config_.node_id, config_.sink_node,
+                                          std::move(out)),
+                   now);
+  }
+}
+
+void QueryEngine::MaybeFinishOutgoing(Tick now, int64_t relocation_id) {
+  auto it = outgoing_.find(relocation_id);
+  if (it == outgoing_.end()) return;
+  OutgoingRelocation& out = it->second;
+  if (!out.transfer_authorized ||
+      out.drain_markers < config_.num_split_hosts) {
+    return;
+  }
+
+  // All pre-pause tuples have arrived (drain markers on FIFO links) and
+  // the coordinator authorized the move: extract and ship the groups.
+  std::vector<StateManager::ExtractedGroup> extracted =
+      mjoin_.state().ExtractGroups(out.partitions);
+  mjoin_.state().UnlockGroups(out.partitions);
+
+  StateTransfer transfer;
+  transfer.relocation_id = relocation_id;
+  transfer.sender = config_.engine_id;
+  int64_t bytes = 0;
+  for (StateManager::ExtractedGroup& group : extracted) {
+    bytes += group.bytes;
+    transfer.groups.push_back(
+        SerializedGroup{group.partition, std::move(group.blob)});
+  }
+  counters_.relocations_out += 1;
+  counters_.bytes_relocated_out += bytes;
+
+  Message msg;
+  msg.type = MessageType::kStateTransfer;
+  msg.from = config_.node_id;
+  msg.to = static_cast<NodeId>(out.receiver);
+  msg.payload = std::move(transfer);
+  network_->Send(std::move(msg), now);
+
+  DCAPE_LOG(kInfo) << "engine " << config_.engine_id << " relocated "
+                   << extracted.size() << " groups (" << bytes
+                   << " bytes) to engine " << out.receiver << " at t=" << now;
+  outgoing_.erase(it);
+  mode_ = EngineMode::kNormal;
+}
+
+void QueryEngine::OnTick(Tick now) {
+  DrainPending(now);
+
+  if (StrategySpillsLocally(config_.strategy) && now >= busy_until_ &&
+      mode_ == EngineMode::kNormal) {
+    std::vector<PartitionId> victims =
+        controller_.CheckSpill(now, mjoin_.state());
+    if (!victims.empty()) {
+      DoSpill(now, victims, /*forced=*/false);
+    }
+  }
+
+  if (config_.restore.enabled && now >= busy_until_ &&
+      mode_ == EngineMode::kNormal && restore_timer_.Expired(now)) {
+    MaybeRestore(now);
+  }
+
+  if (config_.window_ticks > 0 && now >= busy_until_ &&
+      mode_ == EngineMode::kNormal && evict_timer_.Expired(now)) {
+    EvictExpired(now);
+  }
+
+  if (stats_timer_.Expired(now)) {
+    controller_.RollProductivityWindow(mjoin_.state());
+    if (config_.coordinator_node == kInvalidNode) return;
+    StatsReport report;
+    report.engine = config_.engine_id;
+    report.state_bytes = mjoin_.state().total_bytes();
+    report.num_groups = mjoin_.state().group_count();
+    report.outputs_in_window = outputs_in_window_;
+    report.total_outputs = mjoin_.state().total_outputs();
+    report.spilled_bytes = spill_store_.total_spilled_bytes();
+    outputs_in_window_ = 0;
+    network_->Send(MakeStatsReportMessage(config_.node_id,
+                                          config_.coordinator_node, report),
+                   now);
+  }
+}
+
+}  // namespace dcape

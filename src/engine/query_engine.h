@@ -1,0 +1,167 @@
+#ifndef DCAPE_ENGINE_QUERY_ENGINE_H_
+#define DCAPE_ENGINE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "core/local_controller.h"
+#include "core/strategy.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "operators/mjoin.h"
+#include "storage/disk_backend.h"
+#include "storage/spill_store.h"
+
+namespace dcape {
+
+/// Execution modes of a query engine (paper Table 2).
+enum class EngineMode {
+  kNormal,
+  kStateSpill,       // ss_mode: spilling states to local disk
+  kStateRelocation,  // sr_mode: participating in a relocation
+};
+
+/// Configuration of one query engine (machine).
+struct EngineConfig {
+  EngineId engine_id = 0;
+  /// Network address; by cluster convention engines use node_id ==
+  /// engine_id.
+  NodeId node_id = 0;
+  NodeId coordinator_node = kInvalidNode;
+  NodeId sink_node = kInvalidNode;
+  int num_streams = 3;
+  /// Number of split-host nodes; the engine expects one drain marker per
+  /// host before extracting relocating state.
+  int num_split_hosts = 1;
+  AdaptationStrategy strategy = AdaptationStrategy::kNoAdaptation;
+  SpillConfig spill;
+  /// Productivity estimation model used by the local controller.
+  ProductivityConfig productivity;
+  /// Online state restore (merge disk generations back when memory is
+  /// available).
+  RestoreConfig restore;
+  /// Sliding-window join semantics: > 0 bounds the timestamp span of any
+  /// result's members and lets the engine evict expired state.
+  Tick window_ticks = 0;
+  /// How often expired state is evicted (only with window_ticks > 0).
+  Tick evict_period = SecondsToTicks(10);
+  /// Statistics reporting period toward the coordinator (sr_timer's data
+  /// source).
+  Tick stats_period = SecondsToTicks(5);
+  /// Optional post-join projection (group key + aggregate input).
+  std::optional<ResultProjection> projection;
+  uint64_t seed = 1;
+};
+
+/// One query engine of the distributed architecture (paper Fig. 4): hosts
+/// an instance of the partitioned m-way join, executes its share of the
+/// input, reports lightweight statistics to the global coordinator, and
+/// carries out the engine side of both adaptations through its local
+/// adaptation controller.
+///
+/// Disk I/O keeps the engine busy in virtual time: while `busy_until_` is
+/// in the future, arriving tuple batches queue and are processed when the
+/// engine frees up — which is what dents the run-time throughput right
+/// after a spill (visible in the paper's Fig. 13).
+class QueryEngine {
+ public:
+  /// Cumulative event counters for experiment summaries.
+  struct Counters {
+    int64_t tuples_processed = 0;
+    int64_t results_produced = 0;
+    int64_t spill_events = 0;
+    int64_t forced_spill_events = 0;
+    int64_t spilled_bytes = 0;
+    int64_t relocations_out = 0;
+    int64_t relocations_in = 0;
+    int64_t bytes_relocated_out = 0;
+    int64_t bytes_relocated_in = 0;
+    /// Online-restore activity (RestoreConfig).
+    int64_t restored_segments = 0;
+    int64_t restored_bytes = 0;
+    int64_t restored_results = 0;
+    /// Window-eviction activity (window_ticks > 0).
+    int64_t evicted_tuples = 0;
+    int64_t eviction_segments = 0;
+  };
+
+  QueryEngine(const EngineConfig& config, Network* network,
+              const SpillStore::Config& disk_config,
+              std::unique_ptr<DiskBackend> disk_backend);
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Network delivery callback; register with
+  /// `network->RegisterNode(node_id, ...)` bound to this method.
+  void OnMessage(Tick now, const Message& message);
+
+  /// Per-tick housekeeping: drain queued batches when free, run the
+  /// ss_timer spill check, emit the periodic stats report.
+  void OnTick(Tick now);
+
+  /// True when no input is queued and no disk I/O is in progress — used
+  /// by the driver to detect quiescence at end of run.
+  bool Idle(Tick now) const {
+    return pending_batches_.empty() && now >= busy_until_;
+  }
+
+  MJoin& mjoin() { return mjoin_; }
+  const MJoin& mjoin() const { return mjoin_; }
+  const SpillStore& spill_store() const { return spill_store_; }
+  const Counters& counters() const { return counters_; }
+  const EngineConfig& config() const { return config_; }
+  EngineMode mode() const { return mode_; }
+  /// Tracked memory-resident state bytes (the quantity all thresholds and
+  /// the coordinator's decisions are based on).
+  int64_t state_bytes() const { return mjoin_.state().total_bytes(); }
+
+ private:
+  /// One in-flight relocation in which this engine is the sender.
+  struct OutgoingRelocation {
+    EngineId receiver = 0;
+    std::vector<PartitionId> partitions;
+    bool transfer_authorized = false;
+    int drain_markers = 0;
+  };
+
+  void ProcessBatch(Tick now, const TupleBatch& batch);
+  void DrainPending(Tick now);
+  /// Spills `victims`, updating counters and busy time. `forced` marks
+  /// coordinator-initiated spills (active-disk).
+  void DoSpill(Tick now, const std::vector<PartitionId>& victims, bool forced);
+  /// Attempts one online restore (oldest fitting, unlocked generation).
+  void MaybeRestore(Tick now);
+  /// Evicts window-expired tuples; preserves them as eviction
+  /// generations when disk generations exist for the partition.
+  void EvictExpired(Tick now);
+  /// Completes the sender side of a relocation once both the transfer
+  /// authorization and all drain markers have arrived.
+  void MaybeFinishOutgoing(Tick now, int64_t relocation_id);
+
+  EngineConfig config_;
+  Network* network_;
+  SpillStore spill_store_;
+  MJoin mjoin_;
+  LocalController controller_;
+  PeriodicTimer stats_timer_;
+  PeriodicTimer restore_timer_;
+  PeriodicTimer evict_timer_;
+  EngineMode mode_ = EngineMode::kNormal;
+  Tick busy_until_ = 0;
+  std::deque<TupleBatch> pending_batches_;
+  std::map<int64_t, OutgoingRelocation> outgoing_;
+  int64_t outputs_in_window_ = 0;
+  Counters counters_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,42 @@
+#include "metrics/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace dcape {
+
+std::string SeriesToCsv(const std::vector<const TimeSeries*>& series) {
+  std::string csv = "tick";
+  for (const TimeSeries* s : series) {
+    csv += ",";
+    csv += s->name().empty() ? "series" : s->name();
+  }
+  csv += "\n";
+
+  std::set<Tick> ticks;
+  for (const TimeSeries* s : series) {
+    for (const auto& [tick, value] : s->samples()) ticks.insert(tick);
+  }
+  char buf[64];
+  for (Tick tick : ticks) {
+    csv += std::to_string(tick);
+    for (const TimeSeries* s : series) {
+      std::snprintf(buf, sizeof(buf), ",%.6g", s->ValueAtOrBefore(tick));
+      csv += buf;
+    }
+    csv += "\n";
+  }
+  return csv;
+}
+
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<const TimeSeries*>& series) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open csv file: " + path);
+  out << SeriesToCsv(series);
+  if (!out) return Status::Internal("short write to csv file: " + path);
+  return Status::OK();
+}
+
+}  // namespace dcape

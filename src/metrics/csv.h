@@ -1,0 +1,23 @@
+#ifndef DCAPE_METRICS_CSV_H_
+#define DCAPE_METRICS_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metrics/time_series.h"
+
+namespace dcape {
+
+/// Renders several time series to CSV against a shared tick axis: one
+/// row per distinct sample tick across all series, one column per series
+/// (value at-or-before that tick). Header row uses the series names.
+std::string SeriesToCsv(const std::vector<const TimeSeries*>& series);
+
+/// Writes SeriesToCsv output to a file.
+Status WriteSeriesCsv(const std::string& path,
+                      const std::vector<const TimeSeries*>& series);
+
+}  // namespace dcape
+
+#endif  // DCAPE_METRICS_CSV_H_

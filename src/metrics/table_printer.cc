@@ -1,0 +1,72 @@
+#include "metrics/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace dcape {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  DCAPE_CHECK(!columns_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  DCAPE_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return std::string(buf);
+}
+
+void PrintSeriesByMinute(std::ostream& os, const std::string& axis_label,
+                         const std::vector<const TimeSeries*>& series,
+                         int64_t start_minute, int64_t end_minute,
+                         int64_t step_minutes) {
+  std::vector<std::string> columns;
+  columns.push_back(axis_label);
+  for (const TimeSeries* s : series) columns.push_back(s->name());
+  TablePrinter table(std::move(columns));
+  for (int64_t minute = start_minute; minute <= end_minute;
+       minute += step_minutes) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(minute));
+    for (const TimeSeries* s : series) {
+      row.push_back(FormatDouble(
+          s->ValueAtOrBefore(MinutesToTicks(minute)), 0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+}
+
+}  // namespace dcape

@@ -1,0 +1,44 @@
+#ifndef DCAPE_METRICS_TABLE_PRINTER_H_
+#define DCAPE_METRICS_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/time_series.h"
+
+namespace dcape {
+
+/// Renders fixed-width text tables for the bench binaries' figure output.
+class TablePrinter {
+ public:
+  /// `columns` are header labels; the first column is the row label.
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Adds one row; `cells.size()` must equal the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the table with aligned columns.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fraction digits.
+std::string FormatDouble(double value, int digits);
+
+/// Prints several time series against a shared per-minute time axis:
+/// one row per sampled minute from `start_minute` to `end_minute`, one
+/// column per series (value at-or-before that minute). This is the shape
+/// of the paper's throughput/memory figures.
+void PrintSeriesByMinute(std::ostream& os, const std::string& axis_label,
+                         const std::vector<const TimeSeries*>& series,
+                         int64_t start_minute, int64_t end_minute,
+                         int64_t step_minutes = 2);
+
+}  // namespace dcape
+
+#endif  // DCAPE_METRICS_TABLE_PRINTER_H_

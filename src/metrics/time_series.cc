@@ -1,0 +1,56 @@
+#include "metrics/time_series.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcape {
+
+void TimeSeries::Add(Tick tick, double value) {
+  if (!samples_.empty()) {
+    DCAPE_CHECK_GE(tick, samples_.back().first);
+  }
+  samples_.emplace_back(tick, value);
+}
+
+double TimeSeries::ValueAtOrBefore(Tick tick, double fallback) const {
+  // Samples are sorted by tick; find the last one <= tick.
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), tick,
+      [](Tick t, const std::pair<Tick, double>& s) { return t < s.first; });
+  if (it == samples_.begin()) return fallback;
+  return std::prev(it)->second;
+}
+
+double TimeSeries::Last(double fallback) const {
+  return samples_.empty() ? fallback : samples_.back().second;
+}
+
+double TimeSeries::Max(double fallback) const {
+  double max = fallback;
+  bool any = false;
+  for (const auto& [tick, value] : samples_) {
+    if (!any || value > max) {
+      max = value;
+      any = true;
+    }
+  }
+  return any ? max : fallback;
+}
+
+TimeSeries ToRatePerMinute(const TimeSeries& cumulative) {
+  TimeSeries rate(cumulative.name());
+  const auto& samples = cumulative.samples();
+  for (size_t i = 1; i < samples.size(); ++i) {
+    const double delta = samples[i].second - samples[i - 1].second;
+    const double window_minutes =
+        static_cast<double>(samples[i].first - samples[i - 1].first) /
+        static_cast<double>(MinutesToTicks(1));
+    if (window_minutes > 0) {
+      rate.Add(samples[i].first, delta / window_minutes);
+    }
+  }
+  return rate;
+}
+
+}  // namespace dcape

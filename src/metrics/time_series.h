@@ -1,0 +1,53 @@
+#ifndef DCAPE_METRICS_TIME_SERIES_H_
+#define DCAPE_METRICS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/virtual_clock.h"
+
+namespace dcape {
+
+/// An append-only sampled series of (virtual time, value). The runtime
+/// driver samples engine memory and sink throughput into these; bench
+/// binaries turn them into the paper's figure tables.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  /// Appends a sample; ticks must be non-decreasing.
+  void Add(Tick tick, double value);
+
+  /// Latest sample value at or before `tick`; `fallback` when none.
+  double ValueAtOrBefore(Tick tick, double fallback = 0.0) const;
+
+  /// Value of the last sample; `fallback` when empty.
+  double Last(double fallback = 0.0) const;
+
+  /// Maximum sample value; `fallback` when empty.
+  double Max(double fallback = 0.0) const;
+
+  const std::vector<std::pair<Tick, double>>& samples() const {
+    return samples_;
+  }
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<Tick, double>> samples_;
+};
+
+/// Converts a cumulative-count series into a windowed rate series
+/// (difference over each sampling window divided by the window length in
+/// minutes) — the "output rate" the paper's throughput figures plot.
+TimeSeries ToRatePerMinute(const TimeSeries& cumulative);
+
+}  // namespace dcape
+
+#endif  // DCAPE_METRICS_TIME_SERIES_H_

@@ -1,0 +1,114 @@
+#include "net/message.h"
+
+namespace dcape {
+namespace {
+
+/// Fixed wire overhead per message (headers, framing).
+constexpr int64_t kMessageHeaderBytes = 32;
+
+struct ByteSizeVisitor {
+  int64_t operator()(const TupleBatch& b) const { return b.ByteSize(); }
+  int64_t operator()(const ResultBatch& b) const {
+    int64_t total = 0;
+    for (const JoinResult& r : b.results) total += r.ByteSize();
+    return total;
+  }
+  int64_t operator()(const StatsReport&) const { return 48; }
+  int64_t operator()(const ComputePartitionsToMove&) const { return 24; }
+  int64_t operator()(const PartitionsToMove& m) const {
+    return 24 + static_cast<int64_t>(m.partitions.size() * sizeof(PartitionId));
+  }
+  int64_t operator()(const PausePartitions& m) const {
+    return 8 + static_cast<int64_t>(m.partitions.size() * sizeof(PartitionId));
+  }
+  int64_t operator()(const PauseAck&) const { return 16; }
+  int64_t operator()(const DrainMarker&) const { return 16; }
+  int64_t operator()(const TransferStates& m) const {
+    return 16 + static_cast<int64_t>(m.partitions.size() * sizeof(PartitionId));
+  }
+  int64_t operator()(const StateTransfer& m) const {
+    int64_t total = 16;
+    for (const SerializedGroup& g : m.groups) {
+      total += static_cast<int64_t>(sizeof(PartitionId) + g.bytes.size());
+    }
+    return total;
+  }
+  int64_t operator()(const StatesInstalled&) const { return 24; }
+  int64_t operator()(const UpdateRouting& m) const {
+    return 16 + static_cast<int64_t>(m.partitions.size() * sizeof(PartitionId));
+  }
+  int64_t operator()(const RoutingUpdated&) const { return 16; }
+  int64_t operator()(const ForceSpill&) const { return 8; }
+  int64_t operator()(const SpillComplete&) const { return 16; }
+};
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kTupleBatch:
+      return "TupleBatch";
+    case MessageType::kResultBatch:
+      return "ResultBatch";
+    case MessageType::kStatsReport:
+      return "StatsReport";
+    case MessageType::kComputePartitionsToMove:
+      return "ComputePartitionsToMove";
+    case MessageType::kPartitionsToMove:
+      return "PartitionsToMove";
+    case MessageType::kPausePartitions:
+      return "PausePartitions";
+    case MessageType::kPauseAck:
+      return "PauseAck";
+    case MessageType::kDrainMarker:
+      return "DrainMarker";
+    case MessageType::kTransferStates:
+      return "TransferStates";
+    case MessageType::kStateTransfer:
+      return "StateTransfer";
+    case MessageType::kStatesInstalled:
+      return "StatesInstalled";
+    case MessageType::kUpdateRouting:
+      return "UpdateRouting";
+    case MessageType::kRoutingUpdated:
+      return "RoutingUpdated";
+    case MessageType::kForceSpill:
+      return "ForceSpill";
+    case MessageType::kSpillComplete:
+      return "SpillComplete";
+  }
+  return "Unknown";
+}
+
+int64_t Message::ByteSize() const {
+  return kMessageHeaderBytes + std::visit(ByteSizeVisitor{}, payload);
+}
+
+Message MakeTupleBatchMessage(NodeId from, NodeId to, TupleBatch batch) {
+  Message m;
+  m.type = MessageType::kTupleBatch;
+  m.from = from;
+  m.to = to;
+  m.payload = std::move(batch);
+  return m;
+}
+
+Message MakeResultBatchMessage(NodeId from, NodeId to, ResultBatch batch) {
+  Message m;
+  m.type = MessageType::kResultBatch;
+  m.from = from;
+  m.to = to;
+  m.payload = std::move(batch);
+  return m;
+}
+
+Message MakeStatsReportMessage(NodeId from, NodeId to, StatsReport report) {
+  Message m;
+  m.type = MessageType::kStatsReport;
+  m.from = from;
+  m.to = to;
+  m.payload = report;
+  return m;
+}
+
+}  // namespace dcape

@@ -1,0 +1,183 @@
+#ifndef DCAPE_NET_MESSAGE_H_
+#define DCAPE_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/virtual_clock.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// Message kinds exchanged between cluster nodes. The first two carry the
+/// data plane; kStatsReport feeds the global coordinator; the remainder
+/// implement the 8-step state-relocation protocol (paper §4.1, Fig. 8) and
+/// the active-disk forced-spill command (§5.3, Algorithm 2).
+enum class MessageType {
+  kTupleBatch,               // split -> engine: partitioned input tuples
+  kResultBatch,              // engine -> application server: join results
+  kStatsReport,              // engine -> coordinator: periodic statistics
+  kComputePartitionsToMove,  // GC -> sender engine (step 1, "cptv")
+  kPartitionsToMove,         // sender -> GC (step 2, "ptv")
+  kPausePartitions,          // GC -> split host (step 3)
+  kPauseAck,                 // split host -> GC (step 4a)
+  kDrainMarker,              // split host -> sender engine (step 4b; rides
+                             // the same FIFO link as tuples, so its arrival
+                             // proves all pre-pause tuples have arrived)
+  kTransferStates,           // GC -> sender engine (step 5)
+  kStateTransfer,            // sender -> receiver engine (step 6)
+  kStatesInstalled,          // receiver -> GC (step 7)
+  kUpdateRouting,            // GC -> split host (step 8a)
+  kRoutingUpdated,           // split host -> GC (step 8b)
+  kForceSpill,               // GC -> engine: active-disk "start_ss"
+  kSpillComplete,            // engine -> GC: forced spill finished
+};
+
+/// Returns a stable name for logging ("TupleBatch", ...).
+const char* MessageTypeName(MessageType type);
+
+/// Periodic lightweight statistics from one query engine, the only input
+/// the coordinator needs (keeping it scalable, as the paper stresses).
+struct StatsReport {
+  EngineId engine = 0;
+  /// Tracked bytes of memory-resident operator state.
+  int64_t state_bytes = 0;
+  /// Number of memory-resident partition groups.
+  int64_t num_groups = 0;
+  /// Output tuples produced since the previous report (sampling window).
+  int64_t outputs_in_window = 0;
+  /// Cumulative output tuples.
+  int64_t total_outputs = 0;
+  /// Cumulative bytes spilled to local disk.
+  int64_t spilled_bytes = 0;
+};
+
+/// Step 1: the coordinator asks the overloaded engine to choose
+/// `amount_bytes` worth of partition groups to relocate to `receiver`.
+struct ComputePartitionsToMove {
+  int64_t relocation_id = 0;
+  int64_t amount_bytes = 0;
+  EngineId receiver = 0;
+};
+
+/// Step 2: the sender's local controller answers with the chosen ids.
+struct PartitionsToMove {
+  int64_t relocation_id = 0;
+  EngineId sender = 0;
+  std::vector<PartitionId> partitions;
+  /// Tracked bytes of the chosen groups (coordinator bookkeeping only).
+  int64_t bytes = 0;
+};
+
+/// Step 3: the coordinator tells each split host to buffer the affected
+/// partitions until routing is updated.
+struct PausePartitions {
+  int64_t relocation_id = 0;
+  std::vector<PartitionId> partitions;
+  /// Node of the sending (old owner) engine, to which the split host
+  /// addresses its drain marker.
+  NodeId sender_node = kInvalidNode;
+};
+
+/// Step 4a: a split host confirms it paused `num_streams` split operators.
+struct PauseAck {
+  int64_t relocation_id = 0;
+  NodeId split_host = 0;
+};
+
+/// Step 4b: sent by a split host to the old owner on the same link as the
+/// tuple traffic. FIFO links guarantee that when the sender engine has a
+/// marker from every split host, no pre-pause tuple is still in flight.
+struct DrainMarker {
+  int64_t relocation_id = 0;
+  NodeId split_host = 0;
+};
+
+/// Step 5: the coordinator authorizes the state transfer.
+struct TransferStates {
+  int64_t relocation_id = 0;
+  EngineId receiver = 0;
+  std::vector<PartitionId> partitions;
+};
+
+/// One serialized partition group in transit.
+struct SerializedGroup {
+  PartitionId partition = 0;
+  /// ByteWriter-encoded group contents (see state/partition_group.h).
+  std::string bytes;
+};
+
+/// Step 6: the serialized partition groups. Its ByteSize dominates the
+/// relocation's network cost.
+struct StateTransfer {
+  int64_t relocation_id = 0;
+  EngineId sender = 0;
+  std::vector<SerializedGroup> groups;
+};
+
+/// Step 7: the receiver confirms installation.
+struct StatesInstalled {
+  int64_t relocation_id = 0;
+  EngineId receiver = 0;
+  int64_t bytes = 0;
+};
+
+/// Step 8a: the coordinator publishes the new owner; the split hosts flush
+/// their buffered tuples to it and resume normal routing.
+struct UpdateRouting {
+  int64_t relocation_id = 0;
+  std::vector<PartitionId> partitions;
+  EngineId new_owner = 0;
+};
+
+/// Step 8b: a split host confirms the routing switch and buffer flush.
+struct RoutingUpdated {
+  int64_t relocation_id = 0;
+  NodeId split_host = 0;
+};
+
+/// Active-disk: the coordinator forces the least-productive engine to
+/// spill `amount_bytes` of its least productive groups (Algorithm 2).
+struct ForceSpill {
+  int64_t amount_bytes = 0;
+};
+
+/// Reply to ForceSpill.
+struct SpillComplete {
+  EngineId engine = 0;
+  int64_t bytes_spilled = 0;
+};
+
+/// A batch of join results headed to the application server.
+struct ResultBatch {
+  std::vector<JoinResult> results;
+};
+
+/// Envelope for anything traveling on the simulated network.
+struct Message {
+  MessageType type = MessageType::kTupleBatch;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  Tick send_time = 0;
+  std::variant<TupleBatch, ResultBatch, StatsReport, ComputePartitionsToMove,
+               PartitionsToMove, PausePartitions, PauseAck, DrainMarker,
+               TransferStates, StateTransfer, StatesInstalled, UpdateRouting,
+               RoutingUpdated, ForceSpill, SpillComplete>
+      payload;
+
+  /// Bytes on the wire (payload plus a small fixed header), used by the
+  /// network's bandwidth model.
+  int64_t ByteSize() const;
+};
+
+/// Convenience factories setting `type` consistently with the payload.
+Message MakeTupleBatchMessage(NodeId from, NodeId to, TupleBatch batch);
+Message MakeResultBatchMessage(NodeId from, NodeId to, ResultBatch batch);
+Message MakeStatsReportMessage(NodeId from, NodeId to, StatsReport report);
+
+}  // namespace dcape
+
+#endif  // DCAPE_NET_MESSAGE_H_

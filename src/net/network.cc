@@ -1,0 +1,59 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcape {
+
+void Network::RegisterNode(NodeId node, Handler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void Network::Send(Message message, Tick now) {
+  DCAPE_CHECK_NE(message.from, kInvalidNode);
+  DCAPE_CHECK_NE(message.to, kInvalidNode);
+  message.send_time = now;
+
+  const int64_t bytes = message.ByteSize();
+  Tick transfer = 0;
+  if (config_.bytes_per_tick > 0) {
+    transfer = (bytes + config_.bytes_per_tick - 1) / config_.bytes_per_tick;
+  }
+  Tick arrival = now + config_.latency_ticks + transfer;
+
+  // FIFO per directed link: never schedule ahead of an earlier message on
+  // the same link (TCP in-order delivery).
+  const std::pair<NodeId, NodeId> link{message.from, message.to};
+  auto it = link_last_arrival_.find(link);
+  if (it != link_last_arrival_.end()) {
+    arrival = std::max(arrival, it->second);
+  }
+  link_last_arrival_[link] = arrival;
+
+  stats_.messages_sent += 1;
+  stats_.bytes_sent += bytes;
+  if (message.type == MessageType::kStateTransfer) {
+    stats_.state_transfer_bytes += bytes;
+  }
+
+  queue_.push(InFlight{arrival, next_sequence_++, std::move(message)});
+}
+
+void Network::DeliverUntil(Tick now) {
+  while (!queue_.empty() && queue_.top().arrival <= now) {
+    // Copy out before pop; the handler may push new messages.
+    InFlight item = queue_.top();
+    queue_.pop();
+    auto it = handlers_.find(item.message.to);
+    DCAPE_CHECK(it != handlers_.end());
+    it->second(item.arrival, item.message);
+  }
+}
+
+Tick Network::NextArrival() const {
+  if (queue_.empty()) return -1;
+  return queue_.top().arrival;
+}
+
+}  // namespace dcape

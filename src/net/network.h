@@ -1,0 +1,102 @@
+#ifndef DCAPE_NET_NETWORK_H_
+#define DCAPE_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "net/message.h"
+
+namespace dcape {
+
+/// The simulated cluster interconnect.
+///
+/// Stands in for the paper's private gigabit Ethernet. Messages incur a
+/// fixed per-message latency plus a size-proportional transfer time
+/// (`bytes / bytes_per_tick`). Delivery is deterministic: messages are
+/// ordered by (arrival tick, global sequence number), and each directed
+/// link (from → to) is FIFO — a later message never overtakes an earlier
+/// one on the same link, exactly like a TCP connection. The relocation
+/// protocol's drain markers rely on that FIFO property.
+class Network {
+ public:
+  struct Config {
+    /// Per-message propagation + protocol latency in ticks (virtual ms).
+    Tick latency_ticks = 1;
+    /// Link throughput in bytes per tick. 1 Gb/s ≈ 125 bytes per virtual
+    /// microsecond ≈ 125000 bytes per virtual millisecond.
+    int64_t bytes_per_tick = 125000;
+  };
+
+  /// Per-message delivery callback; `now` is the delivery tick.
+  using Handler = std::function<void(Tick now, const Message& message)>;
+
+  /// Aggregate traffic statistics.
+  struct Stats {
+    int64_t messages_sent = 0;
+    int64_t bytes_sent = 0;
+    /// Bytes sent in kStateTransfer messages only (relocation traffic).
+    int64_t state_transfer_bytes = 0;
+  };
+
+  explicit Network(const Config& config) : config_(config) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers the delivery handler for `node`. Must be called before any
+  /// message addressed to `node` is delivered. Re-registering replaces the
+  /// handler.
+  void RegisterNode(NodeId node, Handler handler);
+
+  /// Enqueues `message` for delivery. `message.from/to` must be set and
+  /// `to` must name a registered node by delivery time.
+  void Send(Message message, Tick now);
+
+  /// Delivers every message whose arrival tick is <= `now`, in
+  /// deterministic order. Handlers may send further messages; those are
+  /// delivered too if they also arrive by `now`.
+  void DeliverUntil(Tick now);
+
+  /// True when no message is queued.
+  bool idle() const { return queue_.empty(); }
+
+  /// Earliest queued arrival tick, or -1 when idle. Lets drivers fast-
+  /// forward quiet periods.
+  Tick NextArrival() const;
+
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+ private:
+  struct InFlight {
+    Tick arrival;
+    int64_t sequence;  // global tie-breaker for determinism
+    Message message;
+  };
+  struct ArrivalOrder {
+    bool operator()(const InFlight& a, const InFlight& b) const {
+      // priority_queue is a max-heap; invert for earliest-first.
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  Config config_;
+  std::map<NodeId, Handler> handlers_;
+  std::priority_queue<InFlight, std::vector<InFlight>, ArrivalOrder> queue_;
+  /// Last scheduled arrival per directed link, for FIFO enforcement.
+  std::map<std::pair<NodeId, NodeId>, Tick> link_last_arrival_;
+  int64_t next_sequence_ = 0;
+  Stats stats_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_NET_NETWORK_H_

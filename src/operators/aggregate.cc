@@ -1,0 +1,24 @@
+#include "operators/aggregate.h"
+
+#include <algorithm>
+
+namespace dcape {
+
+std::vector<std::pair<int64_t, GroupByAggregate::GroupState>>
+GroupByAggregate::TopByAggregate(size_t limit, bool smallest_first) const {
+  std::vector<std::pair<int64_t, GroupState>> entries(groups_.begin(),
+                                                      groups_.end());
+  std::sort(entries.begin(), entries.end(),
+            [smallest_first](const auto& a, const auto& b) {
+              if (a.second.aggregate != b.second.aggregate) {
+                return smallest_first
+                           ? a.second.aggregate < b.second.aggregate
+                           : a.second.aggregate > b.second.aggregate;
+              }
+              return a.first < b.first;
+            });
+  if (entries.size() > limit) entries.resize(limit);
+  return entries;
+}
+
+}  // namespace dcape

@@ -1,0 +1,66 @@
+#ifndef DCAPE_OPERATORS_AGGREGATE_H_
+#define DCAPE_OPERATORS_AGGREGATE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "tuple/projection.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// The grouped aggregation operator sitting on the application server
+/// behind the union — the `SELECT brokerName, min(price) … GROUP BY
+/// brokerName` tail of the paper's QUERY 1. It consumes join results
+/// whose (group_key, agg_value) were projected by the engines (and by
+/// the cleanup phase), maintaining one running aggregate per group.
+///
+/// All supported aggregates (min/max/sum, plus the implicit count) are
+/// insensitive to result order, so the out-of-order delivery the paper
+/// permits (footnote 1) and the late cleanup results fold in correctly.
+class GroupByAggregate {
+ public:
+  struct GroupState {
+    int64_t aggregate = 0;
+    int64_t count = 0;
+  };
+
+  explicit GroupByAggregate(AggregateOp op) : op_(op) {}
+
+  /// Folds one join result into its group.
+  void Consume(const JoinResult& result) {
+    auto [it, inserted] = groups_.try_emplace(result.group_key);
+    GroupState& state = it->second;
+    state.aggregate =
+        FoldAggregate(op_, state.aggregate, result.agg_value, inserted);
+    state.count += 1;
+    total_ += 1;
+  }
+
+  /// Folds a batch.
+  void ConsumeAll(const std::vector<JoinResult>& results) {
+    for (const JoinResult& r : results) Consume(r);
+  }
+
+  /// Current per-group states, keyed by group key.
+  const std::map<int64_t, GroupState>& groups() const { return groups_; }
+  /// Results consumed.
+  int64_t total() const { return total_; }
+  AggregateOp op() const { return op_; }
+
+  /// The `limit` groups with the smallest aggregate (ties by key) — the
+  /// "which brokers sell at the lowest price" question of the paper's
+  /// introduction.
+  std::vector<std::pair<int64_t, GroupState>> TopByAggregate(
+      size_t limit, bool smallest_first = true) const;
+
+ private:
+  AggregateOp op_;
+  std::map<int64_t, GroupState> groups_;
+  int64_t total_ = 0;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_OPERATORS_AGGREGATE_H_

@@ -1,0 +1,33 @@
+#include "operators/mjoin.h"
+
+namespace dcape {
+
+StatusOr<MJoin::SpillOutcome> MJoin::SpillPartitions(
+    const std::vector<PartitionId>& partitions, Tick now) {
+  if (spill_store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "this MJoin instance has no spill store");
+  }
+  std::vector<PartitionId> unlocked;
+  unlocked.reserve(partitions.size());
+  for (PartitionId p : partitions) {
+    if (!state_.IsLocked(p)) unlocked.push_back(p);
+  }
+
+  SpillOutcome outcome;
+  std::vector<StateManager::ExtractedGroup> extracted =
+      state_.ExtractGroups(unlocked);
+  for (StateManager::ExtractedGroup& group : extracted) {
+    DCAPE_ASSIGN_OR_RETURN(
+        Tick io_ticks,
+        spill_store_->WriteSegment(group.partition, now, group.blob,
+                                   group.tuple_count));
+    outcome.bytes += group.bytes;
+    outcome.tuples += group.tuple_count;
+    outcome.groups += 1;
+    outcome.io_ticks += io_ticks;
+  }
+  return outcome;
+}
+
+}  // namespace dcape

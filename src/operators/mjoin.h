@@ -1,0 +1,78 @@
+#ifndef DCAPE_OPERATORS_MJOIN_H_
+#define DCAPE_OPERATORS_MJOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <optional>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "state/state_manager.h"
+#include "storage/spill_store.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// One instance of the partitioned symmetric m-way hash join operator
+/// (Viglas et al. [26]) — the paper's representative state-intensive
+/// operator. Each query engine hosts one instance processing its share of
+/// the partitions.
+///
+/// The operator couples a StateManager (memory-resident partition groups)
+/// with an optional SpillStore; `SpillPartitions` freezes the chosen
+/// groups to disk as new generations. Policy decisions (which partitions,
+/// when) are made by the controllers in `core/`.
+class MJoin {
+ public:
+  /// `spill_store` may be null for engines that never spill (pure
+  /// relocation or all-memory setups); SpillPartitions then fails with
+  /// FailedPrecondition. `projection` (optional) computes each result's
+  /// (group_key, agg_value) from its member tuples.
+  MJoin(int num_streams, SpillStore* spill_store,
+        std::optional<ResultProjection> projection = std::nullopt,
+        Tick window_ticks = 0)
+      : state_(num_streams, projection, window_ticks),
+        spill_store_(spill_store) {}
+
+  MJoin(const MJoin&) = delete;
+  MJoin& operator=(const MJoin&) = delete;
+
+  /// Processes one input tuple through its partition group, appending any
+  /// produced m-way results. Returns the number of results.
+  int64_t Process(PartitionId partition, const Tuple& tuple,
+                  std::vector<JoinResult>* results) {
+    return state_.ProcessTuple(partition, tuple, results);
+  }
+
+  /// Outcome of one spill adaptation.
+  struct SpillOutcome {
+    int64_t bytes = 0;
+    int64_t tuples = 0;
+    int groups = 0;
+    /// Total virtual disk-write time; the engine stays busy this long.
+    Tick io_ticks = 0;
+  };
+
+  /// Serializes the given partitions' groups to the spill store (one
+  /// generation each) and drops them from memory. Locked (relocating)
+  /// partitions are skipped.
+  StatusOr<SpillOutcome> SpillPartitions(
+      const std::vector<PartitionId>& partitions, Tick now);
+
+  StateManager& state() { return state_; }
+  const StateManager& state() const { return state_; }
+  SpillStore* spill_store() { return spill_store_; }
+  const SpillStore* spill_store() const { return spill_store_; }
+
+  int num_streams() const { return state_.num_streams(); }
+
+ private:
+  StateManager state_;
+  SpillStore* spill_store_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_OPERATORS_MJOIN_H_

@@ -1,0 +1,91 @@
+#ifndef DCAPE_OPERATORS_SELECT_H_
+#define DCAPE_OPERATORS_SELECT_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// A conjunctive predicate over the typed columns, e.g. "price between
+/// 100 and 500" or "broker = 7". Data-only so it can live in configs.
+struct SelectPredicate {
+  int64_t min_value = std::numeric_limits<int64_t>::min();
+  int64_t max_value = std::numeric_limits<int64_t>::max();
+  std::optional<int64_t> category_equals;
+
+  bool Matches(const Tuple& tuple) const {
+    if (tuple.value < min_value || tuple.value > max_value) return false;
+    if (category_equals.has_value() && tuple.category != *category_equals) {
+      return false;
+    }
+    return true;
+  }
+};
+
+/// The stateless selection operator, placed in front of the splits (the
+/// paper distributes stateless operators freely since they are never the
+/// resource bottleneck). Filters tuples and counts selectivity.
+class SelectOp {
+ public:
+  explicit SelectOp(const SelectPredicate& predicate)
+      : predicate_(predicate) {}
+
+  /// True when the tuple passes the predicate.
+  bool Process(const Tuple& tuple) {
+    ++seen_;
+    if (predicate_.Matches(tuple)) {
+      ++passed_;
+      return true;
+    }
+    return false;
+  }
+
+  int64_t seen() const { return seen_; }
+  int64_t passed() const { return passed_; }
+  /// Fraction of tuples passing so far (1.0 before any input).
+  double selectivity() const {
+    return seen_ > 0 ? static_cast<double>(passed_) /
+                           static_cast<double>(seen_)
+                     : 1.0;
+  }
+  const SelectPredicate& predicate() const { return predicate_; }
+
+ private:
+  SelectPredicate predicate_;
+  int64_t seen_ = 0;
+  int64_t passed_ = 0;
+};
+
+/// The stateless projection operator: truncates the opaque payload to the
+/// columns the query actually needs, shrinking every downstream state
+/// byte count (a real system would drop unneeded columns; we model the
+/// byte effect).
+class ProjectOp {
+ public:
+  /// Keeps at most `payload_limit` payload bytes per tuple.
+  explicit ProjectOp(size_t payload_limit) : payload_limit_(payload_limit) {}
+
+  /// Applies the projection in place; returns bytes saved.
+  int64_t Process(Tuple* tuple) {
+    if (tuple->payload.size() <= payload_limit_) return 0;
+    const int64_t saved =
+        static_cast<int64_t>(tuple->payload.size() - payload_limit_);
+    tuple->payload.resize(payload_limit_);
+    bytes_saved_ += saved;
+    return saved;
+  }
+
+  int64_t bytes_saved() const { return bytes_saved_; }
+  size_t payload_limit() const { return payload_limit_; }
+
+ private:
+  size_t payload_limit_;
+  int64_t bytes_saved_ = 0;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_OPERATORS_SELECT_H_

@@ -1,0 +1,57 @@
+#ifndef DCAPE_OPERATORS_SINK_H_
+#define DCAPE_OPERATORS_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/virtual_clock.h"
+#include "metrics/histogram.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// The application server's result consumer: counts results and, when
+/// `collect` is set (tests and small examples), retains them for
+/// set-comparison against a reference join.
+class ResultSink {
+ public:
+  /// `collect` retains every result in memory; enable only for bounded
+  /// runs (tests, examples).
+  explicit ResultSink(bool collect) : collect_(collect) {}
+
+  ResultSink(const ResultSink&) = delete;
+  ResultSink& operator=(const ResultSink&) = delete;
+
+  /// Consumes one batch arriving at `now`, recording each result's
+  /// end-to-end latency (delivery minus the latest member's arrival).
+  void Consume(Tick now, const std::vector<JoinResult>& results) {
+    last_arrival_ = now;
+    total_ += static_cast<int64_t>(results.size());
+    for (const JoinResult& r : results) {
+      latency_.Add(now - r.latest_member_ts);
+    }
+    if (collect_) {
+      collected_.insert(collected_.end(), results.begin(), results.end());
+    }
+  }
+
+  /// Cumulative results received.
+  int64_t total() const { return total_; }
+  /// Arrival tick of the most recent batch.
+  Tick last_arrival() const { return last_arrival_; }
+  /// Retained results; empty unless constructed with `collect`.
+  const std::vector<JoinResult>& collected() const { return collected_; }
+  /// End-to-end result latency distribution (virtual ms).
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  bool collect_;
+  int64_t total_ = 0;
+  Tick last_arrival_ = 0;
+  Histogram latency_;
+  std::vector<JoinResult> collected_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_OPERATORS_SINK_H_

@@ -1,0 +1,71 @@
+#ifndef DCAPE_OPERATORS_SPLIT_H_
+#define DCAPE_OPERATORS_SPLIT_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+#include "stream/stream_generator.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// The split operator inserted in front of one input stream of the
+/// partitioned join (Volcano exchange style, as in Flux [20]).
+///
+/// It owns the routing table (partition id → engine) and implements the
+/// pause/buffer/resume behaviour the relocation protocol requires: while
+/// a partition is paused its tuples are buffered here, and when the
+/// coordinator publishes the new owner they are released, in arrival
+/// order, toward that owner.
+class Split {
+ public:
+  /// `routing[p]` is the engine initially owning partition p.
+  Split(StreamId stream_id, std::vector<EngineId> routing);
+
+  Split(const Split&) = delete;
+  Split& operator=(const Split&) = delete;
+
+  /// Routes one tuple: returns the owning engine, or nullopt when the
+  /// tuple's partition is paused (the tuple is then buffered internally).
+  std::optional<EngineId> Route(const Tuple& tuple);
+
+  /// Pauses the given partitions (idempotent).
+  void Pause(const std::vector<PartitionId>& partitions);
+
+  /// Points the given partitions at `new_owner`, unpauses them, and
+  /// returns the buffered tuples for them in arrival order. The caller
+  /// must forward those tuples to `new_owner` *before* any newly routed
+  /// tuple (FIFO links make that automatic when sent first).
+  std::vector<Tuple> UpdateRoutingAndRelease(
+      const std::vector<PartitionId>& partitions, EngineId new_owner);
+
+  /// Current owner of a partition.
+  EngineId OwnerOf(PartitionId partition) const;
+
+  bool IsPaused(PartitionId partition) const {
+    return paused_.count(partition) > 0;
+  }
+
+  /// Tuples currently buffered across all paused partitions.
+  int64_t buffered_count() const {
+    return static_cast<int64_t>(buffered_.size());
+  }
+
+  StreamId stream_id() const { return stream_id_; }
+  const std::vector<EngineId>& routing() const { return routing_; }
+
+ private:
+  StreamId stream_id_;
+  std::vector<EngineId> routing_;
+  std::set<PartitionId> paused_;
+  /// Buffered tuples in arrival order (across paused partitions; filtered
+  /// per partition set on release).
+  std::vector<Tuple> buffered_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_OPERATORS_SPLIT_H_

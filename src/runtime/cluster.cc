@@ -1,0 +1,277 @@
+#include "runtime/cluster.h"
+
+#include <string>
+#include <utility>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "storage/disk_backend.h"
+
+namespace dcape {
+
+std::vector<EngineId> Cluster::PlacementFor(const ClusterConfig& config) {
+  return ComputePlacement(config.workload.num_partitions, config.num_engines,
+                          config.placement_fractions);
+}
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      coordinator_node_(config.num_engines),
+      sink_node_(config.num_engines + 1),
+      generator_node_(config.num_engines + 2),
+      network_(config.network),
+      placement_(PlacementFor(config)),
+      sink_(config.collect_results) {
+  DCAPE_CHECK_GT(config_.num_engines, 0);
+  const int num_streams = config_.workload.num_streams;
+  const int num_hosts =
+      std::clamp(config_.num_split_hosts, 1, num_streams);
+  // The cleanup phase must project and window results identically to
+  // the engines.
+  config_.cleanup.projection = config_.projection;
+  config_.cleanup.window_ticks = config_.join_window_ticks;
+
+  // Default the fluctuation set to engine 0's partitions (the paper's
+  // alternating-load setup toggles between the two machines' shares).
+  if (config_.workload.fluctuation.enabled &&
+      config_.workload.fluctuation.set_a.empty()) {
+    config_.workload.fluctuation.set_a = PartitionsOfEngine(placement_, 0);
+  }
+
+  // Query engines.
+  for (EngineId e = 0; e < config_.num_engines; ++e) {
+    EngineConfig engine_config;
+    engine_config.engine_id = e;
+    engine_config.node_id = e;
+    engine_config.coordinator_node = coordinator_node_;
+    engine_config.sink_node = sink_node_;
+    engine_config.num_streams = num_streams;
+    engine_config.num_split_hosts = num_hosts;
+    engine_config.strategy = config_.strategy;
+    engine_config.spill = config_.spill;
+    engine_config.productivity = config_.productivity;
+    engine_config.restore = config_.restore;
+    engine_config.window_ticks = config_.join_window_ticks;
+    if (!config_.per_engine_thresholds.empty()) {
+      DCAPE_CHECK_EQ(config_.per_engine_thresholds.size(),
+                     static_cast<size_t>(config_.num_engines));
+      engine_config.spill.memory_threshold_bytes =
+          config_.per_engine_thresholds[static_cast<size_t>(e)];
+    }
+    engine_config.stats_period = config_.stats_period;
+    engine_config.projection = config_.projection;
+    engine_config.seed = config_.seed + 1000 + static_cast<uint64_t>(e);
+
+    std::unique_ptr<DiskBackend> backend;
+    if (config_.use_file_backend) {
+      backend = MakeTempFileBackend(config_.file_backend_prefix + "_e" +
+                                    std::to_string(e));
+    } else {
+      backend = std::make_unique<MemoryDiskBackend>();
+    }
+    engines_.push_back(std::make_unique<QueryEngine>(
+        engine_config, &network_, config_.disk, std::move(backend)));
+  }
+
+  // Global coordinator.
+  CoordinatorConfig coord_config;
+  coord_config.node_id = coordinator_node_;
+  for (EngineId e = 0; e < config_.num_engines; ++e) {
+    coord_config.engine_nodes.push_back(e);
+    coord_config.engine_memory_thresholds.push_back(
+        engines_[static_cast<size_t>(e)]->config().spill
+            .memory_threshold_bytes);
+  }
+  for (int h = 0; h < num_hosts; ++h) {
+    coord_config.split_hosts.push_back(generator_node_ + 1 + h);
+  }
+  coord_config.strategy = config_.strategy;
+  coord_config.relocation = config_.relocation;
+  coord_config.active = config_.active_disk;
+  coordinator_ = std::make_unique<GlobalCoordinator>(coord_config, &network_);
+
+  // Split hosts: streams assigned round-robin over the hosts.
+  if (!config_.select_per_stream.empty()) {
+    DCAPE_CHECK_EQ(config_.select_per_stream.size(),
+                   static_cast<size_t>(num_streams));
+  }
+  std::vector<NodeId> host_of_stream(static_cast<size_t>(num_streams));
+  for (int h = 0; h < num_hosts; ++h) {
+    SplitHostConfig split_config;
+    split_config.node_id = generator_node_ + 1 + h;
+    split_config.coordinator_node = coordinator_node_;
+    for (StreamId s = h; s < num_streams; s += num_hosts) {
+      split_config.streams.push_back(s);
+      host_of_stream[static_cast<size_t>(s)] = split_config.node_id;
+      if (!config_.select_per_stream.empty()) {
+        split_config.select_per_stream.push_back(
+            config_.select_per_stream[static_cast<size_t>(s)]);
+      }
+    }
+    split_config.project_payload_to = config_.project_payload_to;
+    split_hosts_.push_back(std::make_unique<SplitHost>(
+        split_config, placement_, &network_));
+  }
+
+  // Stream generator node (synthetic workload or trace replay).
+  std::unique_ptr<InputSource> source;
+  if (config_.replay_trace != nullptr) {
+    StatusOr<TraceSource> trace = TraceSource::FromBytes(*config_.replay_trace);
+    DCAPE_CHECK(trace.ok());
+    DCAPE_CHECK_EQ(trace->num_streams(), num_streams);
+    source = std::make_unique<TraceSource>(*std::move(trace));
+  } else {
+    source = std::make_unique<StreamGenerator>(config_.workload);
+  }
+  generator_ = std::make_unique<GeneratorNode>(
+      generator_node_, std::move(source), host_of_stream, &network_,
+      config_.record_trace != nullptr ? config_.record_trace.get() : nullptr);
+
+  // Wire delivery handlers.
+  for (EngineId e = 0; e < config_.num_engines; ++e) {
+    QueryEngine* engine = engines_[static_cast<size_t>(e)].get();
+    network_.RegisterNode(e, [engine](Tick now, const Message& m) {
+      engine->OnMessage(now, m);
+    });
+  }
+  network_.RegisterNode(coordinator_node_,
+                        [this](Tick now, const Message& m) {
+                          coordinator_->OnMessage(now, m);
+                        });
+  for (int h = 0; h < num_hosts; ++h) {
+    SplitHost* host = split_hosts_[static_cast<size_t>(h)].get();
+    network_.RegisterNode(generator_node_ + 1 + h,
+                          [host](Tick now, const Message& m) {
+                            host->OnMessage(now, m);
+                          });
+  }
+  if (config_.aggregate_op.has_value()) {
+    aggregate_ = std::make_unique<GroupByAggregate>(*config_.aggregate_op);
+  }
+  network_.RegisterNode(sink_node_, [this](Tick now, const Message& m) {
+    DCAPE_CHECK(m.type == MessageType::kResultBatch);
+    const auto& batch = std::get<ResultBatch>(m.payload);
+    if (aggregate_ != nullptr) aggregate_->ConsumeAll(batch.results);
+    union_op_.Add(batch.results);
+    sink_.Consume(now, union_op_.Drain());
+  });
+
+  memory_series_.resize(static_cast<size_t>(config_.num_engines));
+  for (EngineId e = 0; e < config_.num_engines; ++e) {
+    memory_series_[static_cast<size_t>(e)].set_name(
+        "engine" + std::to_string(e) + "_bytes");
+  }
+  throughput_series_.set_name("cumulative_results");
+}
+
+void Cluster::StepTick(Tick now, bool generate) {
+  network_.DeliverUntil(now);
+  generator_->OnTick(now, generate);
+  for (auto& engine : engines_) engine->OnTick(now);
+  if (!draining_) coordinator_->OnTick(now);
+}
+
+void Cluster::SampleIfDue(Tick now, bool force) {
+  if (!force && last_sample_ >= 0 &&
+      now - last_sample_ < config_.sample_period) {
+    return;
+  }
+  last_sample_ = now;
+  throughput_series_.Add(now, static_cast<double>(sink_.total()));
+  for (EngineId e = 0; e < config_.num_engines; ++e) {
+    memory_series_[static_cast<size_t>(e)].Add(
+        now,
+        static_cast<double>(engines_[static_cast<size_t>(e)]->state_bytes()));
+  }
+}
+
+void Cluster::RunUntil(Tick end) {
+  for (Tick t = clock_.now(); t <= end; ++t) {
+    clock_.AdvanceTo(t);
+    StepTick(t, /*generate=*/true);
+    SampleIfDue(t);
+  }
+}
+
+void Cluster::Drain() {
+  draining_ = true;
+  const Tick start = clock_.now();
+  const Tick cap = start + MinutesToTicks(30);
+  Tick t = start;
+  while (t < cap) {
+    ++t;
+    clock_.AdvanceTo(t);
+    StepTick(t, /*generate=*/false);
+    bool idle = network_.idle();
+    if (idle) {
+      for (auto& host : split_hosts_) {
+        if (host->total_buffered() != 0) {
+          idle = false;
+          break;
+        }
+      }
+    }
+    if (idle) {
+      for (auto& engine : engines_) {
+        if (!engine->Idle(t)) {
+          idle = false;
+          break;
+        }
+      }
+    }
+    if (idle) break;
+  }
+  DCAPE_CHECK_LT(t, cap);  // pipeline failed to quiesce
+  SampleIfDue(clock_.now(), /*force=*/true);
+  draining_ = false;
+}
+
+StatusOr<CleanupStats> Cluster::RunCleanup() {
+  std::vector<const SpillStore*> stores;
+  std::vector<const StateManager*> states;
+  for (auto& engine : engines_) {
+    stores.push_back(&engine->spill_store());
+    states.push_back(&engine->mjoin().state());
+  }
+  CleanupProcessor processor(config_.cleanup, config_.workload.num_streams);
+  return processor.Run(stores, states);
+}
+
+RunResult Cluster::Collect() {
+  RunResult result;
+  result.throughput = throughput_series_;
+  result.engine_memory = memory_series_;
+  result.runtime_results = sink_.total();
+  result.runtime_latency = sink_.latency();
+  result.tuples_generated = generator_->source().total_emitted();
+  result.runtime_end = clock_.now();
+  result.coordinator = coordinator_->counters();
+  result.network = network_.stats();
+  for (auto& engine : engines_) {
+    result.engines.push_back(engine->counters());
+    result.spilled_bytes += engine->counters().spilled_bytes;
+    result.spill_events += engine->counters().spill_events +
+                           engine->counters().forced_spill_events;
+  }
+  if (config_.collect_results) {
+    result.collected = sink_.collected();
+  }
+  return result;
+}
+
+RunResult Cluster::Run() {
+  RunUntil(config_.run_duration);
+  Drain();
+  generator_->FinishTrace();
+  RunResult result = Collect();
+  if (config_.run_cleanup) {
+    StatusOr<CleanupStats> cleanup = RunCleanup();
+    DCAPE_CHECK(cleanup.ok());
+    result.cleanup = std::move(cleanup).value();
+  }
+  return result;
+}
+
+}  // namespace dcape

@@ -1,0 +1,49 @@
+#include "runtime/cluster_config.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcape {
+
+std::vector<EngineId> ComputePlacement(int num_partitions, int num_engines,
+                                       const std::vector<double>& fractions) {
+  DCAPE_CHECK_GT(num_partitions, 0);
+  DCAPE_CHECK_GT(num_engines, 0);
+  std::vector<double> shares = fractions;
+  if (shares.empty()) {
+    shares.assign(static_cast<size_t>(num_engines),
+                  1.0 / static_cast<double>(num_engines));
+  }
+  DCAPE_CHECK_EQ(shares.size(), static_cast<size_t>(num_engines));
+
+  // Cumulative boundaries, rounding each prefix so the blocks partition
+  // the id space exactly.
+  std::vector<EngineId> placement(static_cast<size_t>(num_partitions), 0);
+  double cumulative = 0.0;
+  int start = 0;
+  for (int e = 0; e < num_engines; ++e) {
+    cumulative += shares[static_cast<size_t>(e)];
+    int end = (e == num_engines - 1)
+                  ? num_partitions
+                  : static_cast<int>(std::llround(cumulative *
+                                                  num_partitions));
+    end = std::min(end, num_partitions);
+    for (int p = start; p < end; ++p) {
+      placement[static_cast<size_t>(p)] = e;
+    }
+    start = std::max(start, end);
+  }
+  return placement;
+}
+
+std::vector<PartitionId> PartitionsOfEngine(
+    const std::vector<EngineId>& placement, EngineId engine) {
+  std::vector<PartitionId> ids;
+  for (size_t p = 0; p < placement.size(); ++p) {
+    if (placement[p] == engine) ids.push_back(static_cast<PartitionId>(p));
+  }
+  return ids;
+}
+
+}  // namespace dcape

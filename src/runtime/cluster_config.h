@@ -1,0 +1,112 @@
+#ifndef DCAPE_RUNTIME_CLUSTER_CONFIG_H_
+#define DCAPE_RUNTIME_CLUSTER_CONFIG_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cleanup/cleanup.h"
+#include "common/ids.h"
+#include "common/virtual_clock.h"
+#include "core/productivity.h"
+#include "core/strategy.h"
+#include "net/network.h"
+#include "operators/select.h"
+#include "storage/spill_store.h"
+#include "stream/workload.h"
+#include "tuple/projection.h"
+
+namespace dcape {
+
+/// Full description of one experiment: the simulated cluster, the query
+/// workload, and the adaptation strategy under test.
+struct ClusterConfig {
+  /// Number of query-engine machines (the paper's processors; the
+  /// coordinator, stream generator and application server get their own
+  /// dedicated nodes, as in §3.1).
+  int num_engines = 2;
+  /// Number of nodes hosting the split operators (clamped to the stream
+  /// count; streams are assigned round-robin). 1 colocates every split
+  /// with the generator node, the paper's described deployment.
+  int num_split_hosts = 1;
+  WorkloadConfig workload;
+  /// When non-empty, replay this recorded trace instead of generating the
+  /// synthetic workload (workload.num_partitions still sizes the routing
+  /// tables; the trace fixes the stream count). See stream/trace.h.
+  std::shared_ptr<const std::string> replay_trace;
+  /// When non-null, record every emitted tuple into this buffer as a
+  /// trace (finalized when the run's cluster is destroyed).
+  std::shared_ptr<std::string> record_trace;
+  /// Optional post-join projection (group key + aggregate input), applied
+  /// consistently by the engines and the cleanup phase — the SELECT line
+  /// of the paper's QUERY 1.
+  std::optional<ResultProjection> projection;
+  /// Optional per-stream WHERE predicates applied before the splits.
+  std::vector<SelectPredicate> select_per_stream;
+  /// Optional payload truncation before the splits (project away unused
+  /// columns).
+  std::optional<int> project_payload_to;
+  /// When set, the application server additionally folds every result
+  /// into a GroupByAggregate with this function (GROUP BY group_key).
+  std::optional<AggregateOp> aggregate_op;
+  /// Sliding-window join semantics: > 0 bounds every result's member
+  /// timestamp span and enables run-time eviction of expired state —
+  /// the paper's "infinite streams with finite windows" regime. 0 joins
+  /// over the full history (the paper's long-running finite query).
+  Tick join_window_ticks = 0;
+  /// Initial share of the partitions per engine (must sum to ~1). Empty
+  /// means uniform. Partitions are placed in contiguous id blocks, so
+  /// "the partitions of engine 0" is a well-defined set for the
+  /// fluctuation and per-owner class configs.
+  std::vector<double> placement_fractions;
+
+  AdaptationStrategy strategy = AdaptationStrategy::kNoAdaptation;
+  SpillConfig spill;
+  /// Productivity estimation model for every engine's local controller.
+  ProductivityConfig productivity;
+  /// Online state restore settings for every engine.
+  RestoreConfig restore;
+  /// Optional per-engine memory thresholds; empty means
+  /// `spill.memory_threshold_bytes` everywhere.
+  std::vector<int64_t> per_engine_thresholds;
+  RelocationConfig relocation;
+  ActiveDiskConfig active_disk;
+
+  Network::Config network;
+  SpillStore::Config disk;
+  CleanupConfig cleanup;
+  /// Spill to real files under a temp dir instead of the in-memory
+  /// backend.
+  bool use_file_backend = false;
+  std::string file_backend_prefix = "dcape_spill";
+
+  /// Length of the run-time phase.
+  Tick run_duration = MinutesToTicks(40);
+  /// Sampling period for the memory / throughput time series.
+  Tick sample_period = SecondsToTicks(30);
+  /// Engines' statistics reporting period toward the coordinator.
+  Tick stats_period = SecondsToTicks(5);
+
+  /// Retain all runtime results at the sink (tests only; memory-heavy).
+  bool collect_results = false;
+  /// Run the cleanup phase after the run-time phase.
+  bool run_cleanup = true;
+
+  uint64_t seed = 42;
+};
+
+/// Places partitions on engines in contiguous id blocks sized by
+/// `fractions` (uniform when empty). Returns placement[partition] =
+/// engine.
+std::vector<EngineId> ComputePlacement(int num_partitions, int num_engines,
+                                       const std::vector<double>& fractions);
+
+/// The partitions initially placed on `engine` under `placement`.
+std::vector<PartitionId> PartitionsOfEngine(
+    const std::vector<EngineId>& placement, EngineId engine);
+
+}  // namespace dcape
+
+#endif  // DCAPE_RUNTIME_CLUSTER_CONFIG_H_

@@ -1,0 +1,274 @@
+#include "runtime/experiment_flags.h"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "core/productivity.h"
+#include "core/strategy.h"
+
+namespace dcape {
+namespace {
+
+StatusOr<int64_t> ParseInt(std::string_view key, std::string_view value) {
+  char* end = nullptr;
+  std::string copy(value);
+  const int64_t parsed = std::strtoll(copy.c_str(), &end, 10);
+  if (end == copy.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag " + std::string(key) +
+                                   " expects an integer, got '" + copy + "'");
+  }
+  return parsed;
+}
+
+StatusOr<double> ParseDouble(std::string_view key, std::string_view value) {
+  char* end = nullptr;
+  std::string copy(value);
+  const double parsed = std::strtod(copy.c_str(), &end);
+  if (end == copy.c_str() || *end != '\0') {
+    return Status::InvalidArgument("flag " + std::string(key) +
+                                   " expects a number, got '" + copy + "'");
+  }
+  return parsed;
+}
+
+StatusOr<std::vector<double>> ParseDoubleList(std::string_view key,
+                                              std::string_view value) {
+  std::vector<double> values;
+  size_t start = 0;
+  while (start <= value.size()) {
+    const size_t comma = value.find(',', start);
+    const std::string_view item =
+        value.substr(start, comma == std::string_view::npos
+                                ? std::string_view::npos
+                                : comma - start);
+    DCAPE_ASSIGN_OR_RETURN(double v, ParseDouble(key, item));
+    values.push_back(v);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return values;
+}
+
+}  // namespace
+
+StatusOr<ExperimentOptions> ParseExperimentFlags(
+    const std::vector<std::string>& args) {
+  ExperimentOptions options;
+  ClusterConfig& config = options.cluster;
+  // dcape_run defaults: shorter run than the paper's 40 minutes.
+  config.run_duration = MinutesToTicks(10);
+  config.spill.memory_threshold_bytes = 24 * kMiB;
+  config.workload.classes = {PartitionClass{3.0, 180000}};
+
+  double join_rate = 3.0;
+  int64_t tuple_range = 180000;
+
+  for (const std::string& arg : args) {
+    std::string_view view = arg;
+    if (view == "--help" || view == "-h") {
+      return Status::InvalidArgument(ExperimentFlagsHelp());
+    }
+    if (view == "--quiet") {
+      options.tables = false;
+      continue;
+    }
+    if (view == "--verbose") {
+      options.verbose = true;
+      continue;
+    }
+    if (view == "--fluctuation") {
+      config.workload.fluctuation.enabled = true;
+      continue;
+    }
+    if (view == "--restore") {
+      config.restore.enabled = true;
+      continue;
+    }
+    if (view.substr(0, 2) != "--" || view.find('=') == std::string_view::npos) {
+      return Status::InvalidArgument("unrecognized argument '" + arg +
+                                     "' (expected --key=value; see --help)");
+    }
+    const size_t eq = view.find('=');
+    const std::string_view key = view.substr(0, eq);
+    const std::string_view value = view.substr(eq + 1);
+
+    if (key == "--strategy") {
+      DCAPE_ASSIGN_OR_RETURN(config.strategy, ParseStrategy(value));
+    } else if (key == "--engines") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 1 || v > 64) {
+        return Status::InvalidArgument("--engines must be in [1, 64]");
+      }
+      config.num_engines = static_cast<int>(v);
+    } else if (key == "--split-hosts") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 1) return Status::InvalidArgument("--split-hosts must be >= 1");
+      config.num_split_hosts = static_cast<int>(v);
+    } else if (key == "--streams") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 2 || v > 16) {
+        return Status::InvalidArgument("--streams must be in [2, 16]");
+      }
+      config.workload.num_streams = static_cast<int>(v);
+    } else if (key == "--partitions") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 1) return Status::InvalidArgument("--partitions must be >= 1");
+      config.workload.num_partitions = static_cast<int>(v);
+    } else if (key == "--duration-min") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 1) return Status::InvalidArgument("--duration-min must be >= 1");
+      config.run_duration = MinutesToTicks(v);
+    } else if (key == "--inter-arrival-ms") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 1) {
+        return Status::InvalidArgument("--inter-arrival-ms must be >= 1");
+      }
+      config.workload.inter_arrival_ticks = v;
+    } else if (key == "--join-rate") {
+      DCAPE_ASSIGN_OR_RETURN(join_rate, ParseDouble(key, value));
+      if (join_rate <= 0) {
+        return Status::InvalidArgument("--join-rate must be > 0");
+      }
+    } else if (key == "--tuple-range") {
+      DCAPE_ASSIGN_OR_RETURN(tuple_range, ParseInt(key, value));
+      if (tuple_range < 1) {
+        return Status::InvalidArgument("--tuple-range must be >= 1");
+      }
+    } else if (key == "--payload-bytes") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 0) return Status::InvalidArgument("--payload-bytes must be >= 0");
+      config.workload.payload_bytes = static_cast<int>(v);
+    } else if (key == "--seed") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      config.seed = static_cast<uint64_t>(v);
+      config.workload.seed = static_cast<uint64_t>(v);
+    } else if (key == "--placement") {
+      DCAPE_ASSIGN_OR_RETURN(config.placement_fractions,
+                             ParseDoubleList(key, value));
+    } else if (key == "--threshold-kib") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 1) return Status::InvalidArgument("--threshold-kib must be >= 1");
+      config.spill.memory_threshold_bytes = v * kKiB;
+    } else if (key == "--spill-fraction") {
+      DCAPE_ASSIGN_OR_RETURN(config.spill.spill_fraction,
+                             ParseDouble(key, value));
+      if (config.spill.spill_fraction <= 0 ||
+          config.spill.spill_fraction > 1) {
+        return Status::InvalidArgument("--spill-fraction must be in (0, 1]");
+      }
+    } else if (key == "--spill-policy") {
+      DCAPE_ASSIGN_OR_RETURN(config.spill.policy, ParseSpillPolicy(value));
+    } else if (key == "--theta") {
+      DCAPE_ASSIGN_OR_RETURN(config.relocation.theta_r,
+                             ParseDouble(key, value));
+      if (config.relocation.theta_r <= 0 || config.relocation.theta_r >= 1) {
+        return Status::InvalidArgument("--theta must be in (0, 1)");
+      }
+    } else if (key == "--tau-sec") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 0) return Status::InvalidArgument("--tau-sec must be >= 0");
+      config.relocation.min_time_between = SecondsToTicks(v);
+    } else if (key == "--relocation-model") {
+      DCAPE_ASSIGN_OR_RETURN(config.relocation.model,
+                             ParseRelocationModel(value));
+    } else if (key == "--lambda") {
+      DCAPE_ASSIGN_OR_RETURN(config.active_disk.lambda,
+                             ParseDouble(key, value));
+      if (config.active_disk.lambda <= 1) {
+        return Status::InvalidArgument("--lambda must be > 1");
+      }
+    } else if (key == "--productivity") {
+      DCAPE_ASSIGN_OR_RETURN(config.productivity.model,
+                             ParseProductivityModel(value));
+    } else if (key == "--ewma-alpha") {
+      DCAPE_ASSIGN_OR_RETURN(config.productivity.ewma_alpha,
+                             ParseDouble(key, value));
+      if (config.productivity.ewma_alpha <= 0 ||
+          config.productivity.ewma_alpha > 1) {
+        return Status::InvalidArgument("--ewma-alpha must be in (0, 1]");
+      }
+    } else if (key == "--phase-min") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 1) return Status::InvalidArgument("--phase-min must be >= 1");
+      config.workload.fluctuation.phase_ticks = MinutesToTicks(v);
+    } else if (key == "--hot-mult") {
+      DCAPE_ASSIGN_OR_RETURN(config.workload.fluctuation.hot_multiplier,
+                             ParseDouble(key, value));
+      if (config.workload.fluctuation.hot_multiplier < 1) {
+        return Status::InvalidArgument("--hot-mult must be >= 1");
+      }
+    } else if (key == "--window-sec") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 0) return Status::InvalidArgument("--window-sec must be >= 0");
+      config.join_window_ticks = SecondsToTicks(v);
+    } else if (key == "--csv") {
+      options.csv_path = std::string(value);
+    } else if (key == "--record-trace") {
+      options.record_trace_path = std::string(value);
+    } else if (key == "--replay-trace") {
+      options.replay_trace_path = std::string(value);
+    } else {
+      return Status::InvalidArgument("unknown flag '" + std::string(key) +
+                                     "' (see --help)");
+    }
+  }
+
+  if (!config.placement_fractions.empty() &&
+      config.placement_fractions.size() !=
+          static_cast<size_t>(config.num_engines)) {
+    return Status::InvalidArgument(
+        "--placement must list one share per engine");
+  }
+  config.workload.classes = {PartitionClass{join_rate, tuple_range}};
+  return options;
+}
+
+std::string ExperimentFlagsHelp() {
+  return R"(dcape_run — run one DCAPE experiment
+
+usage: dcape_run [--key=value ...]
+
+query / workload:
+  --streams=N            join inputs (m of the m-way join)       [3]
+  --partitions=N         hash partitions across the cluster      [60]
+  --inter-arrival-ms=N   virtual ms between tuples per stream    [10]
+  --join-rate=F          join multiplicative factor increase     [3]
+  --tuple-range=N        tuples per join-rate increment          [180000]
+  --payload-bytes=N      payload bytes per tuple                 [64]
+  --fluctuation          alternate 10x load between halves
+  --phase-min=N          fluctuation phase length                [5]
+  --hot-mult=F           fluctuation hot multiplier              [10]
+  --seed=N               workload + policy seed                  [42]
+
+cluster / run:
+  --engines=N            query engines                           [2]
+  --split-hosts=N        nodes hosting the split operators       [1]
+  --placement=F,F,...    initial partition shares per engine     [uniform]
+  --duration-min=N       run-time phase length (virtual)         [10]
+
+adaptation:
+  --strategy=S           all-mem | spill-only | relocation-only |
+                         lazy-disk | active-disk                 [all-mem]
+  --threshold-kib=N      per-engine spill threshold              [24576]
+  --spill-fraction=F     k% of state pushed per spill            [0.3]
+  --spill-policy=P       push-less-productive | push-more-productive |
+                         push-largest | push-smallest | push-random
+  --theta=F              relocation threshold θ_r                [0.8]
+  --tau-sec=N            min seconds between relocations τ_m     [45]
+  --relocation-model=M   pairwise | global-rebalance             [pairwise]
+  --lambda=F             active-disk productivity threshold λ    [2]
+  --productivity=M       cumulative | ewma                       [cumulative]
+  --ewma-alpha=F         EWMA weight of the newest window        [0.5]
+  --restore              enable online state restore
+  --window-sec=N         sliding-window join semantics (0 = unbounded)
+
+output:
+  --csv=PATH             write throughput/memory series as CSV
+  --record-trace=PATH    record the generated input as a trace
+  --replay-trace=PATH    replay a recorded trace instead
+  --quiet                summary only, no tables
+  --verbose              narrate adaptations
+)";
+}
+
+}  // namespace dcape

@@ -1,0 +1,58 @@
+#ifndef DCAPE_RUNTIME_EXPERIMENT_FLAGS_H_
+#define DCAPE_RUNTIME_EXPERIMENT_FLAGS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/cluster_config.h"
+
+namespace dcape {
+
+/// A parsed command line for the `dcape_run` experiment driver.
+struct ExperimentOptions {
+  ClusterConfig cluster;
+  /// Write throughput + per-engine memory series to this CSV file.
+  std::string csv_path;
+  /// Record the generated input to this trace file.
+  std::string record_trace_path;
+  /// Replay input from this trace file instead of generating.
+  std::string replay_trace_path;
+  /// Narrate adaptations (kInfo logging).
+  bool verbose = false;
+  /// Print the throughput/memory tables (summary always prints).
+  bool tables = true;
+};
+
+/// Parses `--key=value` flags into an ExperimentOptions. Unknown flags,
+/// malformed values, and out-of-range settings yield InvalidArgument
+/// with a human-readable message. `args` excludes argv[0].
+///
+/// Supported flags (defaults in brackets):
+///   --strategy=all-mem|spill-only|relocation-only|lazy-disk|active-disk
+///   --engines=N [2]           --split-hosts=N [1]
+///   --streams=N [3]           --partitions=N [60]
+///   --duration-min=N [10]     --inter-arrival-ms=N [10]
+///   --join-rate=F [3]         --tuple-range=N [180000]
+///   --payload-bytes=N [64]    --seed=N [42]
+///   --placement=F,F,...       (initial partition shares per engine)
+///   --threshold-kib=N [24576] (per-engine spill threshold)
+///   --spill-fraction=F [0.3]
+///   --spill-policy=push-less-productive|push-more-productive|
+///                  push-largest|push-smallest|push-random
+///   --theta=F [0.8]           --tau-sec=N [45]
+///   --relocation-model=pairwise|global-rebalance
+///   --lambda=F [2]            --productivity=cumulative|ewma
+///   --ewma-alpha=F [0.5]      --restore (enable online restore)
+///   --fluctuation             --phase-min=N [5]  --hot-mult=F [10]
+///   --csv=PATH  --record-trace=PATH  --replay-trace=PATH
+///   --quiet (no tables)       --verbose (narrate adaptations)
+StatusOr<ExperimentOptions> ParseExperimentFlags(
+    const std::vector<std::string>& args);
+
+/// The flag reference shown by `dcape_run --help`.
+std::string ExperimentFlagsHelp();
+
+}  // namespace dcape
+
+#endif  // DCAPE_RUNTIME_EXPERIMENT_FLAGS_H_

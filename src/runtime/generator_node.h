@@ -1,0 +1,54 @@
+#ifndef DCAPE_RUNTIME_GENERATOR_NODE_H_
+#define DCAPE_RUNTIME_GENERATOR_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/virtual_clock.h"
+#include "net/network.h"
+#include "stream/input_source.h"
+#include "stream/trace.h"
+
+namespace dcape {
+
+/// The stream-generator machine (the paper dedicates one cluster node to
+/// it, §3.1). Each tick it pulls the due tuples from its InputSource
+/// (synthetic generator or trace replay), optionally records them to a
+/// trace, and ships one batch per (split host, stream) — the split
+/// operators themselves may be spread over several machines (paper §2:
+/// stateless operators are distributed freely).
+class GeneratorNode {
+ public:
+  /// `split_host_of_stream[s]` is the node hosting stream s's split.
+  /// `record_trace`, when non-null, receives the emitted trace.
+  GeneratorNode(NodeId node_id, std::unique_ptr<InputSource> source,
+                std::vector<NodeId> split_host_of_stream, Network* network,
+                std::string* record_trace);
+
+  GeneratorNode(const GeneratorNode&) = delete;
+  GeneratorNode& operator=(const GeneratorNode&) = delete;
+
+  ~GeneratorNode() { FinishTrace(); }
+
+  /// Emits this tick's tuples toward the split hosts. `generate=false`
+  /// silences the source (drain phase).
+  void OnTick(Tick now, bool generate = true);
+
+  /// Finalizes the recording trace (idempotent).
+  void FinishTrace();
+
+  const InputSource& source() const { return *source_; }
+
+ private:
+  NodeId node_id_;
+  std::unique_ptr<InputSource> source_;
+  std::vector<NodeId> split_host_of_stream_;
+  Network* network_;
+  std::unique_ptr<TraceWriter> trace_writer_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_RUNTIME_GENERATOR_NODE_H_

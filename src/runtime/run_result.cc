@@ -1,0 +1,20 @@
+#include "runtime/run_result.h"
+
+#include "common/units.h"
+
+namespace dcape {
+
+void RunResult::PrintSummary(std::ostream& os) const {
+  os << "runtime results: " << runtime_results
+     << " (latency p50/p99: " << runtime_latency.Quantile(0.5) << "/"
+     << runtime_latency.Quantile(0.99) << " ms)"
+     << " | cleanup results: " << cleanup.result_count
+     << " | tuples ingested: " << tuples_generated
+     << " | relocations: " << coordinator.relocations_completed
+     << " | spill events: " << spill_events << " ("
+     << FormatBytes(spilled_bytes) << ")"
+     << " | forced spills: " << coordinator.forced_spills
+     << " | cleanup time: " << cleanup.total_ticks / 1000.0 << " s\n";
+}
+
+}  // namespace dcape

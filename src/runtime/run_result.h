@@ -1,0 +1,62 @@
+#ifndef DCAPE_RUNTIME_RUN_RESULT_H_
+#define DCAPE_RUNTIME_RUN_RESULT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "cleanup/cleanup.h"
+#include "core/global_coordinator.h"
+#include "engine/query_engine.h"
+#include "metrics/histogram.h"
+#include "metrics/time_series.h"
+#include "net/network.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// Everything measured over one experiment run.
+struct RunResult {
+  /// Cumulative results received at the application server, sampled on
+  /// the cluster's sample period. `ToRatePerMinute` turns this into the
+  /// paper's throughput curves.
+  TimeSeries throughput;
+  /// Tracked state bytes per engine over time (the Figs. 6/10 series).
+  std::vector<TimeSeries> engine_memory;
+
+  /// Results produced during the run-time phase (sink count).
+  int64_t runtime_results = 0;
+  /// End-to-end latency (virtual ms) of run-time results: delivery at
+  /// the application server minus the latest member tuple's arrival.
+  Histogram runtime_latency;
+  /// Tuples emitted by the generator across all streams.
+  int64_t tuples_generated = 0;
+  /// Virtual time at which the run-time phase (including pipeline drain)
+  /// ended.
+  Tick runtime_end = 0;
+
+  GlobalCoordinator::Counters coordinator;
+  std::vector<QueryEngine::Counters> engines;
+  Network::Stats network;
+
+  /// Total bytes spilled across engines.
+  int64_t spilled_bytes = 0;
+  /// Total spill events (threshold-triggered + forced) across engines.
+  int64_t spill_events = 0;
+
+  /// Cleanup phase outcome (zeros when cleanup was disabled).
+  CleanupStats cleanup;
+
+  /// Runtime results retained by the sink when collect_results was set.
+  std::vector<JoinResult> collected;
+
+  /// Runtime + cleanup result count.
+  int64_t TotalResults() const { return runtime_results + cleanup.result_count; }
+
+  /// One-paragraph human-readable summary for benches/examples.
+  void PrintSummary(std::ostream& os) const;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_RUNTIME_RUN_RESULT_H_

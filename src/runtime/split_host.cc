@@ -1,0 +1,158 @@
+#include "runtime/split_host.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace dcape {
+
+SplitHost::SplitHost(const SplitHostConfig& config,
+                     std::vector<EngineId> placement, Network* network)
+    : config_(config), network_(network) {
+  DCAPE_CHECK(network_ != nullptr);
+  DCAPE_CHECK(!config_.streams.empty());
+  for (StreamId s : config_.streams) {
+    splits_.emplace(s, std::make_unique<Split>(s, placement));
+  }
+  if (!config_.select_per_stream.empty()) {
+    DCAPE_CHECK_EQ(config_.select_per_stream.size(), config_.streams.size());
+    for (size_t i = 0; i < config_.streams.size(); ++i) {
+      selects_.emplace(config_.streams[i], std::make_unique<SelectOp>(
+                                               config_.select_per_stream[i]));
+    }
+  }
+  if (config_.project_payload_to.has_value()) {
+    DCAPE_CHECK_GE(*config_.project_payload_to, 0);
+    project_ = std::make_unique<ProjectOp>(
+        static_cast<size_t>(*config_.project_payload_to));
+  }
+}
+
+Split& SplitHost::split(StreamId stream) {
+  auto it = splits_.find(stream);
+  DCAPE_CHECK(it != splits_.end());
+  return *it->second;
+}
+
+const Split& SplitHost::split(StreamId stream) const {
+  auto it = splits_.find(stream);
+  DCAPE_CHECK(it != splits_.end());
+  return *it->second;
+}
+
+void SplitHost::RouteAndSend(Tick now, std::vector<Tuple> tuples) {
+  std::map<std::pair<EngineId, StreamId>, TupleBatch> batches;
+  for (Tuple& tuple : tuples) {
+    Split& split = this->split(tuple.stream_id);
+    std::optional<EngineId> engine = split.Route(tuple);
+    if (!engine.has_value()) continue;  // buffered (paused partition)
+    TupleBatch& batch = batches[{*engine, tuple.stream_id}];
+    batch.stream_id = tuple.stream_id;
+    batch.tuples.push_back(std::move(tuple));
+  }
+  for (auto& [key, batch] : batches) {
+    network_->Send(MakeTupleBatchMessage(config_.node_id,
+                                         static_cast<NodeId>(key.first),
+                                         std::move(batch)),
+                   now);
+  }
+}
+
+void SplitHost::FilterAndRoute(Tick now, std::vector<Tuple> tuples) {
+  if (!selects_.empty()) {
+    std::vector<Tuple> selected;
+    selected.reserve(tuples.size());
+    for (Tuple& t : tuples) {
+      auto it = selects_.find(t.stream_id);
+      if (it == selects_.end() || it->second->Process(t)) {
+        selected.push_back(std::move(t));
+      }
+    }
+    tuples = std::move(selected);
+  }
+  if (project_ != nullptr) {
+    for (Tuple& t : tuples) project_->Process(&t);
+  }
+  if (!tuples.empty()) RouteAndSend(now, std::move(tuples));
+}
+
+void SplitHost::OnMessage(Tick now, const Message& message) {
+  switch (message.type) {
+    case MessageType::kTupleBatch: {
+      const auto& batch = std::get<TupleBatch>(message.payload);
+      DCAPE_CHECK(HostsStream(batch.stream_id));
+      FilterAndRoute(now, batch.tuples);
+      return;
+    }
+    case MessageType::kPausePartitions: {
+      const auto& pause = std::get<PausePartitions>(message.payload);
+      for (auto& [stream, split] : splits_) split->Pause(pause.partitions);
+
+      // Drain marker rides the tuple link to the old owner; FIFO delivery
+      // guarantees every pre-pause tuple precedes it.
+      DrainMarker marker;
+      marker.relocation_id = pause.relocation_id;
+      marker.split_host = config_.node_id;
+      Message marker_msg;
+      marker_msg.type = MessageType::kDrainMarker;
+      marker_msg.from = config_.node_id;
+      marker_msg.to = pause.sender_node;
+      marker_msg.payload = marker;
+      network_->Send(std::move(marker_msg), now);
+
+      PauseAck ack;
+      ack.relocation_id = pause.relocation_id;
+      ack.split_host = config_.node_id;
+      Message ack_msg;
+      ack_msg.type = MessageType::kPauseAck;
+      ack_msg.from = config_.node_id;
+      ack_msg.to = config_.coordinator_node;
+      ack_msg.payload = ack;
+      network_->Send(std::move(ack_msg), now);
+      return;
+    }
+    case MessageType::kUpdateRouting: {
+      const auto& update = std::get<UpdateRouting>(message.payload);
+      // Flush buffered tuples to the new owner before acking; they travel
+      // the same FIFO link as all future tuples to that engine.
+      std::vector<Tuple> released;
+      for (auto& [stream, split] : splits_) {
+        std::vector<Tuple> r = split->UpdateRoutingAndRelease(
+            update.partitions, update.new_owner);
+        released.insert(released.end(), std::make_move_iterator(r.begin()),
+                        std::make_move_iterator(r.end()));
+      }
+      if (!released.empty()) {
+        DCAPE_LOG(kDebug) << "split host " << config_.node_id << " flushing "
+                          << released.size() << " buffered tuples to engine "
+                          << update.new_owner;
+        RouteAndSend(now, std::move(released));
+      }
+
+      RoutingUpdated ack;
+      ack.relocation_id = update.relocation_id;
+      ack.split_host = config_.node_id;
+      Message ack_msg;
+      ack_msg.type = MessageType::kRoutingUpdated;
+      ack_msg.from = config_.node_id;
+      ack_msg.to = config_.coordinator_node;
+      ack_msg.payload = ack;
+      network_->Send(std::move(ack_msg), now);
+      return;
+    }
+    default:
+      DCAPE_LOG(kWarning) << "split host " << config_.node_id
+                          << " ignoring unexpected message "
+                          << MessageTypeName(message.type);
+      return;
+  }
+}
+
+int64_t SplitHost::total_buffered() const {
+  int64_t total = 0;
+  for (const auto& [stream, split] : splits_) total += split->buffered_count();
+  return total;
+}
+
+}  // namespace dcape

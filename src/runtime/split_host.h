@@ -1,0 +1,87 @@
+#ifndef DCAPE_RUNTIME_SPLIT_HOST_H_
+#define DCAPE_RUNTIME_SPLIT_HOST_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/virtual_clock.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "operators/select.h"
+#include "operators/split.h"
+
+namespace dcape {
+
+/// Configuration of one split-host node.
+struct SplitHostConfig {
+  NodeId node_id = kInvalidNode;
+  NodeId coordinator_node = kInvalidNode;
+  /// The input streams whose split operators live on this host. The
+  /// paper distributes the stateless splits over the cluster machines
+  /// (Â§2); a single host carrying all streams is the degenerate case.
+  std::vector<StreamId> streams;
+  /// Optional WHERE predicate per hosted stream (parallel to `streams`;
+  /// empty = no selection).
+  std::vector<SelectPredicate> select_per_stream;
+  /// Optional projection: truncate payloads to this many bytes before
+  /// routing.
+  std::optional<int> project_payload_to;
+};
+
+/// A node hosting split operators for a subset of the input streams.
+///
+/// Tuples arrive as batches from the generator node; the host applies the
+/// stateless pre-split operators (selection, projection), routes by
+/// partition to the owning engine, and implements the split side of the
+/// relocation protocol: pause + buffer, drain markers toward the old
+/// owner, and buffered-tuple flush to the new owner on UpdateRouting.
+class SplitHost {
+ public:
+  /// `placement[p]` is the initial engine of partition p.
+  SplitHost(const SplitHostConfig& config, std::vector<EngineId> placement,
+            Network* network);
+
+  SplitHost(const SplitHost&) = delete;
+  SplitHost& operator=(const SplitHost&) = delete;
+
+  /// Network delivery callback (tuple batches + protocol messages).
+  void OnMessage(Tick now, const Message& message);
+
+  Split& split(StreamId stream);
+  const Split& split(StreamId stream) const;
+  bool HostsStream(StreamId stream) const {
+    return splits_.count(stream) > 0;
+  }
+  const std::vector<StreamId>& streams() const { return config_.streams; }
+
+  /// Tuples buffered across this host's splits (nonzero mid-relocation).
+  int64_t total_buffered() const;
+
+  /// The selection operator of one hosted stream (null when none).
+  const SelectOp* select(StreamId stream) const {
+    auto it = selects_.find(stream);
+    return it == selects_.end() ? nullptr : it->second.get();
+  }
+  /// The projection operator (null when not configured).
+  const ProjectOp* project() const { return project_.get(); }
+
+ private:
+  /// Applies select/project and routes fresh tuples.
+  void FilterAndRoute(Tick now, std::vector<Tuple> tuples);
+  /// Routes tuples (no filtering â used for buffered re-release too).
+  void RouteAndSend(Tick now, std::vector<Tuple> tuples);
+
+  SplitHostConfig config_;
+  Network* network_;
+  std::map<StreamId, std::unique_ptr<Split>> splits_;
+  std::map<StreamId, std::unique_ptr<SelectOp>> selects_;
+  std::unique_ptr<ProjectOp> project_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_RUNTIME_SPLIT_HOST_H_

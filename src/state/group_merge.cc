@@ -1,0 +1,106 @@
+#include "state/group_merge.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcape {
+
+int64_t CrossJoinGenerations(const PartitionGroup& older,
+                             const PartitionGroup& newer,
+                             const ResultProjection* projection,
+                             std::vector<JoinResult>* results,
+                             Tick window_ticks) {
+  DCAPE_CHECK_EQ(older.partition(), newer.partition());
+  DCAPE_CHECK_EQ(older.num_streams(), newer.num_streams());
+  const int m = older.num_streams();
+  DCAPE_CHECK_LE(m, 16);
+
+  int64_t produced = 0;
+  const uint32_t full = (1u << m) - 1;
+  // Mask bit s set → stream s's member comes from `newer`.
+  for (uint32_t mask = 1; mask < full; ++mask) {
+    // Iterate the keys of the smallest source table among the mask's
+    // designated sides.
+    int seed_stream = 0;
+    size_t seed_size = SIZE_MAX;
+    for (int s = 0; s < m; ++s) {
+      const auto& table = ((mask >> s) & 1u) ? newer.TableForStream(s)
+                                             : older.TableForStream(s);
+      if (table.size() < seed_size) {
+        seed_size = table.size();
+        seed_stream = s;
+      }
+    }
+    const auto& seed_table = ((mask >> seed_stream) & 1u)
+                                 ? newer.TableForStream(seed_stream)
+                                 : older.TableForStream(seed_stream);
+
+    for (const auto& [key, seed_tuples] : seed_table) {
+      std::vector<const std::vector<Tuple>*> lists(static_cast<size_t>(m),
+                                                   nullptr);
+      bool all_present = true;
+      for (int s = 0; s < m && all_present; ++s) {
+        const auto& table = ((mask >> s) & 1u) ? newer.TableForStream(s)
+                                               : older.TableForStream(s);
+        auto it = table.find(key);
+        if (it == table.end() || it->second.empty()) {
+          all_present = false;
+        } else {
+          lists[static_cast<size_t>(s)] = &it->second;
+        }
+      }
+      if (!all_present) continue;
+
+      JoinResult result;
+      result.partition = older.partition();
+      result.join_key = key;
+      result.member_seqs.assign(static_cast<size_t>(m), 0);
+      std::vector<size_t> cursor(static_cast<size_t>(m), 0);
+      while (true) {
+        int64_t agg = 0;
+        bool first_member = true;
+        Tick min_ts = 0;
+        Tick max_ts = 0;
+        bool first_ts = true;
+        for (int s = 0; s < m; ++s) {
+          const Tuple& member =
+              (*lists[static_cast<size_t>(s)])[cursor[static_cast<size_t>(s)]];
+          result.member_seqs[static_cast<size_t>(s)] = member.seq;
+          if (first_ts) {
+            min_ts = max_ts = member.timestamp;
+            first_ts = false;
+          } else {
+            min_ts = std::min(min_ts, member.timestamp);
+            max_ts = std::max(max_ts, member.timestamp);
+          }
+          if (projection != nullptr) {
+            if (s == projection->group_stream) {
+              result.group_key = member.category;
+            }
+            agg = FoldAggregate(projection->op, agg, member.value,
+                                first_member);
+            first_member = false;
+          }
+        }
+        if (window_ticks <= 0 || max_ts - min_ts <= window_ticks) {
+          if (projection != nullptr) result.agg_value = agg;
+          result.latest_member_ts = max_ts;
+          if (results != nullptr) results->push_back(result);
+          ++produced;
+        }
+
+        int s = m - 1;
+        for (; s >= 0; --s) {
+          size_t& c = cursor[static_cast<size_t>(s)];
+          if (++c < lists[static_cast<size_t>(s)]->size()) break;
+          c = 0;
+        }
+        if (s < 0) break;
+      }
+    }
+  }
+  return produced;
+}
+
+}  // namespace dcape

@@ -1,0 +1,211 @@
+#include "state/partition_group.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "tuple/serde.h"
+
+namespace dcape {
+
+PartitionGroup::PartitionGroup(PartitionId partition, int num_streams)
+    : partition_(partition), num_streams_(num_streams) {
+  DCAPE_CHECK_GE(num_streams, 2);
+  tables_.resize(static_cast<size_t>(num_streams));
+}
+
+int64_t PartitionGroup::ProbeAndInsert(const Tuple& tuple,
+                                       std::vector<JoinResult>* results,
+                                       const ResultProjection* projection,
+                                       Tick window_ticks) {
+  DCAPE_CHECK_GE(tuple.stream_id, 0);
+  DCAPE_CHECK_LT(tuple.stream_id, num_streams_);
+
+  // Collect the match lists of every other stream; an m-way result needs
+  // a partner from each of them.
+  std::vector<const std::vector<Tuple>*> matches(
+      static_cast<size_t>(num_streams_), nullptr);
+  bool all_matched = true;
+  for (int s = 0; s < num_streams_; ++s) {
+    if (s == tuple.stream_id) continue;
+    auto it = tables_[static_cast<size_t>(s)].find(tuple.join_key);
+    if (it == tables_[static_cast<size_t>(s)].end() || it->second.empty()) {
+      all_matched = false;
+      break;
+    }
+    matches[static_cast<size_t>(s)] = &it->second;
+  }
+
+  int64_t produced = 0;
+  if (all_matched) {
+    // Enumerate the cross product of the other streams' match lists.
+    JoinResult result;
+    result.partition = partition_;
+    result.join_key = tuple.join_key;
+    result.member_seqs.assign(static_cast<size_t>(num_streams_), 0);
+    result.member_seqs[static_cast<size_t>(tuple.stream_id)] = tuple.seq;
+
+    std::vector<size_t> cursor(static_cast<size_t>(num_streams_), 0);
+    while (true) {
+      int64_t agg = 0;
+      bool first_member = true;
+      Tick min_ts = tuple.timestamp;
+      Tick max_ts = tuple.timestamp;
+      for (int s = 0; s < num_streams_; ++s) {
+        const Tuple& member =
+            (s == tuple.stream_id)
+                ? tuple
+                : (*matches[static_cast<size_t>(s)])[cursor[
+                      static_cast<size_t>(s)]];
+        result.member_seqs[static_cast<size_t>(s)] = member.seq;
+        min_ts = std::min(min_ts, member.timestamp);
+        max_ts = std::max(max_ts, member.timestamp);
+        if (projection != nullptr) {
+          if (s == projection->group_stream) {
+            result.group_key = member.category;
+          }
+          agg = FoldAggregate(projection->op, agg, member.value, first_member);
+          first_member = false;
+        }
+      }
+      if (window_ticks <= 0 || max_ts - min_ts <= window_ticks) {
+        if (projection != nullptr) result.agg_value = agg;
+        result.latest_member_ts = max_ts;
+        if (results != nullptr) results->push_back(result);
+        ++produced;
+      }
+
+      // Odometer increment over the non-arriving streams.
+      int s = num_streams_ - 1;
+      for (; s >= 0; --s) {
+        if (s == tuple.stream_id) continue;
+        size_t& c = cursor[static_cast<size_t>(s)];
+        if (++c < matches[static_cast<size_t>(s)]->size()) break;
+        c = 0;
+      }
+      if (s < 0) break;
+    }
+  }
+
+  InsertOnly(tuple);
+  outputs_ += produced;
+  return produced;
+}
+
+int64_t PartitionGroup::EvictBefore(Tick cutoff, PartitionGroup* evicted) {
+  DCAPE_CHECK(evicted != nullptr);
+  DCAPE_CHECK_EQ(evicted->partition(), partition_);
+  DCAPE_CHECK_EQ(evicted->num_streams(), num_streams_);
+  int64_t moved = 0;
+  for (int s = 0; s < num_streams_; ++s) {
+    auto& table = tables_[static_cast<size_t>(s)];
+    for (auto it = table.begin(); it != table.end();) {
+      std::vector<Tuple>& tuples = it->second;
+      std::vector<Tuple> kept;
+      kept.reserve(tuples.size());
+      for (Tuple& t : tuples) {
+        if (t.timestamp < cutoff) {
+          bytes_ -= t.ByteSize();
+          tuple_count_ -= 1;
+          ++moved;
+          evicted->InsertOnly(std::move(t));
+        } else {
+          kept.push_back(std::move(t));
+        }
+      }
+      if (kept.empty()) {
+        it = table.erase(it);
+      } else {
+        it->second = std::move(kept);
+        ++it;
+      }
+    }
+  }
+  return moved;
+}
+
+void PartitionGroup::InsertOnly(const Tuple& tuple) {
+  DCAPE_CHECK_GE(tuple.stream_id, 0);
+  DCAPE_CHECK_LT(tuple.stream_id, num_streams_);
+  bytes_ += tuple.ByteSize();
+  tuple_count_ += 1;
+  tables_[static_cast<size_t>(tuple.stream_id)][tuple.join_key].push_back(
+      tuple);
+}
+
+void PartitionGroup::MergeFrom(PartitionGroup&& other) {
+  DCAPE_CHECK_EQ(partition_, other.partition_);
+  DCAPE_CHECK_EQ(num_streams_, other.num_streams_);
+  for (int s = 0; s < num_streams_; ++s) {
+    auto& dst = tables_[static_cast<size_t>(s)];
+    for (auto& [key, tuples] : other.tables_[static_cast<size_t>(s)]) {
+      auto& bucket = dst[key];
+      bucket.insert(bucket.end(), std::make_move_iterator(tuples.begin()),
+                    std::make_move_iterator(tuples.end()));
+    }
+  }
+  bytes_ += other.bytes_;
+  tuple_count_ += other.tuple_count_;
+  outputs_ += other.outputs_;
+  other.tables_.clear();
+  other.bytes_ = 0;
+  other.tuple_count_ = 0;
+  other.outputs_ = 0;
+}
+
+void PartitionGroup::Serialize(std::string* out) const {
+  ByteWriter writer(out);
+  writer.PutI32(partition_);
+  writer.PutI32(num_streams_);
+  writer.PutI64(outputs_);
+  for (int s = 0; s < num_streams_; ++s) {
+    const auto& table = tables_[static_cast<size_t>(s)];
+    int64_t stream_tuples = 0;
+    for (const auto& [key, tuples] : table) {
+      stream_tuples += static_cast<int64_t>(tuples.size());
+    }
+    writer.PutI64(stream_tuples);
+    for (const auto& [key, tuples] : table) {
+      for (const Tuple& t : tuples) EncodeTuple(t, out);
+    }
+  }
+}
+
+StatusOr<PartitionGroup> PartitionGroup::Deserialize(std::string_view data) {
+  ByteReader reader(data);
+  DCAPE_ASSIGN_OR_RETURN(int32_t partition, reader.GetI32());
+  DCAPE_ASSIGN_OR_RETURN(int32_t num_streams, reader.GetI32());
+  // Bound the stream count before allocating tables: adversarial or
+  // corrupt input must fail with a Status, not exhaust memory.
+  if (num_streams < 2 || num_streams > 1024) {
+    return Status::InvalidArgument(
+        "partition group stream count out of range: " +
+        std::to_string(num_streams));
+  }
+  PartitionGroup group(partition, num_streams);
+  DCAPE_ASSIGN_OR_RETURN(group.outputs_, reader.GetI64());
+  for (int s = 0; s < num_streams; ++s) {
+    DCAPE_ASSIGN_OR_RETURN(int64_t stream_tuples, reader.GetI64());
+    for (int64_t i = 0; i < stream_tuples; ++i) {
+      DCAPE_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&reader));
+      if (t.stream_id != s) {
+        return Status::InvalidArgument(
+            "tuple stream id does not match its serialized section");
+      }
+      group.InsertOnly(t);
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after partition group");
+  }
+  return group;
+}
+
+const std::unordered_map<JoinKey, std::vector<Tuple>>&
+PartitionGroup::TableForStream(StreamId stream) const {
+  DCAPE_CHECK_GE(stream, 0);
+  DCAPE_CHECK_LT(stream, num_streams_);
+  return tables_[static_cast<size_t>(stream)];
+}
+
+}  // namespace dcape

@@ -1,0 +1,118 @@
+#ifndef DCAPE_STATE_PARTITION_GROUP_H_
+#define DCAPE_STATE_PARTITION_GROUP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "tuple/projection.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// Lightweight statistics snapshot for one partition group, consumed by
+/// the adaptation policies (victim selection, productivity ranking).
+struct GroupStats {
+  PartitionId partition = 0;
+  /// Current memory-resident state bytes (P_size in the paper).
+  int64_t bytes = 0;
+  /// Output tuples attributed to this group so far (P_output).
+  int64_t outputs = 0;
+  /// P_output / P_size; 0 when the group is empty.
+  double productivity = 0.0;
+  int64_t tuple_count = 0;
+};
+
+/// The paper's adaptation unit: all per-input-stream state with one
+/// partition id, kept together so joins never span machines and cleanup
+/// needs no per-tuple timestamps (§2, "Partition-Group Granularity").
+///
+/// Internally one hash table per input stream maps the join key to the
+/// tuples seen with that key. An arriving tuple probes the *other*
+/// streams' tables (m-way symmetric hash join, Viglas et al. [26]) and is
+/// then inserted into its own stream's table.
+class PartitionGroup {
+ public:
+  /// An empty group for `partition` over `num_streams` join inputs.
+  PartitionGroup(PartitionId partition, int num_streams);
+
+  PartitionGroup(const PartitionGroup&) = delete;
+  PartitionGroup& operator=(const PartitionGroup&) = delete;
+  PartitionGroup(PartitionGroup&&) = default;
+  PartitionGroup& operator=(PartitionGroup&&) = default;
+
+  /// Probes the other streams for matches with `tuple` and appends the
+  /// produced m-way results to `results`, then inserts `tuple` into its
+  /// stream's table. Returns the number of results produced. Updates
+  /// byte accounting and productivity counters. When `projection` is
+  /// non-null each result's (group_key, agg_value) is computed from the
+  /// member tuples. When `window_ticks > 0` only combinations whose
+  /// member timestamps span at most the window qualify (sliding-window
+  /// join semantics for infinite streams).
+  int64_t ProbeAndInsert(const Tuple& tuple, std::vector<JoinResult>* results,
+                         const ResultProjection* projection = nullptr,
+                         Tick window_ticks = 0);
+
+  /// Moves every tuple with timestamp < `cutoff` into `evicted` (a group
+  /// of the same partition/stream count). Returns the number of evicted
+  /// tuples; byte/tuple accounting moves with them. Output counters stay
+  /// with this group.
+  int64_t EvictBefore(Tick cutoff, PartitionGroup* evicted);
+
+  /// Inserts without probing (used when rebuilding state during cleanup).
+  void InsertOnly(const Tuple& tuple);
+
+  /// Merges all state and counters of `other` into this group. Used when
+  /// a relocated group lands on an engine that has since accumulated new
+  /// tuples for the same partition (defensive; the protocol normally
+  /// prevents this).
+  void MergeFrom(PartitionGroup&& other);
+
+  /// Serializes the full group (counters + all tuples) for spilling or
+  /// relocation. Appends to `out`.
+  void Serialize(std::string* out) const;
+
+  /// Reconstructs a group from Serialize output.
+  static StatusOr<PartitionGroup> Deserialize(std::string_view data);
+
+  /// The tuples of one input stream, grouped by join key. Exposed for the
+  /// cleanup processor, which joins across generations.
+  const std::unordered_map<JoinKey, std::vector<Tuple>>& TableForStream(
+      StreamId stream) const;
+
+  PartitionId partition() const { return partition_; }
+  int num_streams() const { return num_streams_; }
+  int64_t bytes() const { return bytes_; }
+  int64_t tuple_count() const { return tuple_count_; }
+  int64_t outputs() const { return outputs_; }
+  bool empty() const { return tuple_count_ == 0; }
+
+  /// P_output / P_size (outputs per state byte); 0 for an empty group.
+  double productivity() const {
+    return bytes_ > 0 ? static_cast<double>(outputs_) /
+                            static_cast<double>(bytes_)
+                      : 0.0;
+  }
+
+  GroupStats Stats() const {
+    return GroupStats{partition_, bytes_, outputs_, productivity(),
+                      tuple_count_};
+  }
+
+ private:
+  PartitionId partition_;
+  int num_streams_;
+  /// tables_[s][key] = tuples of stream s with that join key.
+  std::vector<std::unordered_map<JoinKey, std::vector<Tuple>>> tables_;
+  int64_t bytes_ = 0;
+  int64_t tuple_count_ = 0;
+  int64_t outputs_ = 0;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_STATE_PARTITION_GROUP_H_

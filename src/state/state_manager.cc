@@ -1,0 +1,141 @@
+#include "state/state_manager.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dcape {
+
+StateManager::StateManager(int num_streams,
+                           std::optional<ResultProjection> projection,
+                           Tick window_ticks)
+    : num_streams_(num_streams),
+      projection_(projection),
+      window_ticks_(window_ticks) {
+  DCAPE_CHECK_GE(num_streams, 2);
+  if (projection_.has_value()) {
+    DCAPE_CHECK_GE(projection_->group_stream, 0);
+    DCAPE_CHECK_LT(projection_->group_stream, num_streams);
+  }
+}
+
+int64_t StateManager::ProcessTuple(PartitionId partition, const Tuple& tuple,
+                                   std::vector<JoinResult>* results) {
+  auto it = groups_.find(partition);
+  if (it == groups_.end()) {
+    it = groups_
+             .emplace(partition,
+                      std::make_unique<PartitionGroup>(partition, num_streams_))
+             .first;
+  }
+  PartitionGroup& group = *it->second;
+  const int64_t bytes_before = group.bytes();
+  const int64_t produced = group.ProbeAndInsert(
+      tuple, results, projection_.has_value() ? &*projection_ : nullptr,
+      window_ticks_);
+  total_bytes_ += group.bytes() - bytes_before;
+  total_tuples_ += 1;
+  total_outputs_ += produced;
+  return produced;
+}
+
+std::vector<StateManager::ExtractedGroup> StateManager::ExtractGroups(
+    const std::vector<PartitionId>& partitions) {
+  std::vector<ExtractedGroup> extracted;
+  extracted.reserve(partitions.size());
+  for (PartitionId partition : partitions) {
+    auto it = groups_.find(partition);
+    if (it == groups_.end()) continue;
+    PartitionGroup& group = *it->second;
+    ExtractedGroup out;
+    out.partition = partition;
+    out.bytes = group.bytes();
+    out.tuple_count = group.tuple_count();
+    group.Serialize(&out.blob);
+    total_bytes_ -= group.bytes();
+    total_tuples_ -= group.tuple_count();
+    groups_.erase(it);
+    extracted.push_back(std::move(out));
+  }
+  return extracted;
+}
+
+Status StateManager::InstallGroup(std::string_view blob) {
+  DCAPE_ASSIGN_OR_RETURN(PartitionGroup group,
+                         PartitionGroup::Deserialize(blob));
+  if (group.num_streams() != num_streams_) {
+    return Status::InvalidArgument(
+        "installed group has mismatched stream count");
+  }
+  total_bytes_ += group.bytes();
+  total_tuples_ += group.tuple_count();
+  auto it = groups_.find(group.partition());
+  if (it == groups_.end()) {
+    groups_.emplace(group.partition(),
+                    std::make_unique<PartitionGroup>(std::move(group)));
+  } else {
+    it->second->MergeFrom(std::move(group));
+  }
+  return Status::OK();
+}
+
+std::vector<StateManager::ExtractedGroup> StateManager::EvictExpired(
+    Tick cutoff) {
+  std::vector<ExtractedGroup> evicted;
+  std::vector<PartitionId> emptied;
+  for (auto& [partition, group] : groups_) {
+    PartitionGroup expired(partition, num_streams_);
+    const int64_t bytes_before = group->bytes();
+    const int64_t moved = group->EvictBefore(cutoff, &expired);
+    if (moved == 0) continue;
+    total_bytes_ -= bytes_before - group->bytes();
+    total_tuples_ -= moved;
+    ExtractedGroup out;
+    out.partition = partition;
+    out.bytes = expired.bytes();
+    out.tuple_count = expired.tuple_count();
+    expired.Serialize(&out.blob);
+    evicted.push_back(std::move(out));
+    if (group->empty()) emptied.push_back(partition);
+  }
+  for (PartitionId p : emptied) groups_.erase(p);
+  return evicted;
+}
+
+void StateManager::LockGroups(const std::vector<PartitionId>& partitions) {
+  for (PartitionId p : partitions) locked_[p] = true;
+}
+
+void StateManager::UnlockGroups(const std::vector<PartitionId>& partitions) {
+  for (PartitionId p : partitions) locked_.erase(p);
+}
+
+bool StateManager::IsLocked(PartitionId partition) const {
+  auto it = locked_.find(partition);
+  return it != locked_.end() && it->second;
+}
+
+std::vector<GroupStats> StateManager::SnapshotStats(
+    bool exclude_locked) const {
+  std::vector<GroupStats> stats;
+  stats.reserve(groups_.size());
+  for (const auto& [partition, group] : groups_) {
+    if (exclude_locked && IsLocked(partition)) continue;
+    stats.push_back(group->Stats());
+  }
+  return stats;
+}
+
+const PartitionGroup* StateManager::FindGroup(PartitionId partition) const {
+  auto it = groups_.find(partition);
+  return it == groups_.end() ? nullptr : it->second.get();
+}
+
+std::vector<PartitionId> StateManager::PartitionIds() const {
+  std::vector<PartitionId> ids;
+  ids.reserve(groups_.size());
+  for (const auto& [partition, group] : groups_) ids.push_back(partition);
+  return ids;
+}
+
+}  // namespace dcape

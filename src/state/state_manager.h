@@ -1,0 +1,116 @@
+#ifndef DCAPE_STATE_STATE_MANAGER_H_
+#define DCAPE_STATE_STATE_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <optional>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "state/partition_group.h"
+#include "tuple/projection.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// Owns the memory-resident partition groups of one query-engine instance
+/// of the partitioned m-way join operator.
+///
+/// The state manager is purely local mechanism: it processes tuples,
+/// tracks sizes/productivity, and can extract (serialize + drop) or
+/// install groups. All *policy* — which groups to spill or relocate, and
+/// when — lives in `core/` (local controller and global coordinator).
+class StateManager {
+ public:
+  /// `projection` (optional) computes each result's (group_key,
+  /// agg_value) from its member tuples — the query's post-join SELECT.
+  /// `window_ticks > 0` enables sliding-window join semantics: only
+  /// member combinations whose timestamps span at most the window join.
+  explicit StateManager(
+      int num_streams,
+      std::optional<ResultProjection> projection = std::nullopt,
+      Tick window_ticks = 0);
+
+  StateManager(const StateManager&) = delete;
+  StateManager& operator=(const StateManager&) = delete;
+
+  /// A group serialized out of memory (spill, relocation, eviction).
+  struct ExtractedGroup {
+    PartitionId partition = 0;
+    std::string blob;
+    int64_t bytes = 0;        // tracked state bytes before serialization
+    int64_t tuple_count = 0;
+  };
+
+  /// Moves every tuple older than `cutoff` out of the resident groups.
+  /// Such tuples can never join future arrivals (arrival timestamps are
+  /// monotonic), so removing them is output-transparent for the run-time
+  /// phase; the caller decides whether the evicted groups must be
+  /// preserved for cleanup (they must iff disk generations exist for the
+  /// partition). Returns one serialized evicted group per affected
+  /// partition.
+  std::vector<ExtractedGroup> EvictExpired(Tick cutoff);
+
+  /// Routes `tuple` into its partition group (creating it on first touch),
+  /// probing for join results first. Returns the number of results
+  /// appended to `results`.
+  int64_t ProcessTuple(PartitionId partition, const Tuple& tuple,
+                       std::vector<JoinResult>* results);
+
+  /// Serializes the named groups and removes them from memory. Used for
+  /// both spill (blobs go to the SpillStore) and relocation (blobs go over
+  /// the network). Unknown or locked partitions are skipped silently —
+  /// the controllers pass validated lists, but races with concurrent
+  /// adaptations resolve to "skip".
+  std::vector<ExtractedGroup> ExtractGroups(
+      const std::vector<PartitionId>& partitions);
+
+  /// Installs a serialized group (from relocation). If a group for the
+  /// same partition already exists, the states are merged.
+  Status InstallGroup(std::string_view blob);
+
+  /// Marks groups as locked: locked groups are skipped by ExtractGroups
+  /// calls with `respect_locks` semantics (spill must not race with an
+  /// in-flight relocation of the same groups).
+  void LockGroups(const std::vector<PartitionId>& partitions);
+  void UnlockGroups(const std::vector<PartitionId>& partitions);
+  bool IsLocked(PartitionId partition) const;
+
+  /// Stats snapshot of every memory-resident group, unlocked ones only
+  /// when `exclude_locked`.
+  std::vector<GroupStats> SnapshotStats(bool exclude_locked) const;
+
+  /// Direct access for the cleanup phase (memory-resident remainder).
+  const PartitionGroup* FindGroup(PartitionId partition) const;
+  /// Partition ids of all memory-resident groups, sorted.
+  std::vector<PartitionId> PartitionIds() const;
+
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t group_count() const { return static_cast<int64_t>(groups_.size()); }
+  int64_t total_tuples() const { return total_tuples_; }
+  /// Cumulative join results produced by ProcessTuple.
+  int64_t total_outputs() const { return total_outputs_; }
+  int num_streams() const { return num_streams_; }
+  const std::optional<ResultProjection>& projection() const {
+    return projection_;
+  }
+  Tick window_ticks() const { return window_ticks_; }
+
+ private:
+  int num_streams_;
+  std::optional<ResultProjection> projection_;
+  Tick window_ticks_;
+  std::map<PartitionId, std::unique_ptr<PartitionGroup>> groups_;
+  std::map<PartitionId, bool> locked_;
+  int64_t total_bytes_ = 0;
+  int64_t total_tuples_ = 0;
+  int64_t total_outputs_ = 0;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_STATE_STATE_MANAGER_H_

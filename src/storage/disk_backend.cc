@@ -1,0 +1,106 @@
+#include "storage/disk_backend.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace dcape {
+
+namespace fs = std::filesystem;
+
+Status MemoryDiskBackend::Write(const std::string& name,
+                                std::string_view data) {
+  objects_[name] = std::string(data);
+  return Status::OK();
+}
+
+StatusOr<std::string> MemoryDiskBackend::Read(const std::string& name) {
+  auto it = objects_.find(name);
+  if (it == objects_.end()) {
+    return Status::NotFound("no spill object named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status MemoryDiskBackend::Remove(const std::string& name) {
+  if (objects_.erase(name) == 0) {
+    return Status::NotFound("no spill object named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> MemoryDiskBackend::List() const {
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, data] : objects_) names.push_back(name);
+  return names;
+}
+
+FileDiskBackend::FileDiskBackend(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  DCAPE_CHECK(!ec);
+}
+
+std::string FileDiskBackend::PathFor(const std::string& name) const {
+  return dir_ + "/" + name;
+}
+
+Status FileDiskBackend::Write(const std::string& name, std::string_view data) {
+  std::ofstream out(PathFor(name), std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open spill file for write: " + name);
+  }
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) {
+    return Status::Internal("short write to spill file: " + name);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> FileDiskBackend::Read(const std::string& name) {
+  std::ifstream in(PathFor(name), std::ios::binary);
+  if (!in) {
+    return Status::NotFound("no spill file named '" + name + "'");
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return std::move(contents).str();
+}
+
+Status FileDiskBackend::Remove(const std::string& name) {
+  std::error_code ec;
+  if (!fs::remove(PathFor(name), ec) || ec) {
+    return Status::NotFound("no spill file named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> FileDiskBackend::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::unique_ptr<DiskBackend> MakeTempFileBackend(const std::string& prefix) {
+  static int counter = 0;
+  std::string dir = (fs::temp_directory_path() /
+                     (prefix + "_" + std::to_string(counter++) + "_" +
+                      std::to_string(::getpid())))
+                        .string();
+  return std::make_unique<FileDiskBackend>(dir);
+}
+
+}  // namespace dcape

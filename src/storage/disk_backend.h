@@ -1,0 +1,70 @@
+#ifndef DCAPE_STORAGE_DISK_BACKEND_H_
+#define DCAPE_STORAGE_DISK_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dcape {
+
+/// Abstract byte store underneath the spill store. Two implementations:
+/// a real filesystem directory (used by examples/benches) and an
+/// in-memory map (used by unit tests). Either way the spilled state is
+/// genuinely serialized to bytes and read back.
+class DiskBackend {
+ public:
+  virtual ~DiskBackend() = default;
+
+  /// Writes (or overwrites) the named object.
+  virtual Status Write(const std::string& name, std::string_view data) = 0;
+  /// Reads the named object in full.
+  virtual StatusOr<std::string> Read(const std::string& name) = 0;
+  /// Removes the named object. NotFound if absent.
+  virtual Status Remove(const std::string& name) = 0;
+  /// Names of all stored objects, sorted.
+  virtual std::vector<std::string> List() const = 0;
+};
+
+/// In-memory backend for tests and fast benches.
+class MemoryDiskBackend : public DiskBackend {
+ public:
+  Status Write(const std::string& name, std::string_view data) override;
+  StatusOr<std::string> Read(const std::string& name) override;
+  Status Remove(const std::string& name) override;
+  std::vector<std::string> List() const override;
+
+ private:
+  std::map<std::string, std::string> objects_;
+};
+
+/// Filesystem-directory backend. Each object is one file under `dir`.
+class FileDiskBackend : public DiskBackend {
+ public:
+  /// Creates `dir` (recursively) if needed; aborts on failure since a
+  /// missing spill directory is an unrecoverable configuration error.
+  explicit FileDiskBackend(std::string dir);
+
+  Status Write(const std::string& name, std::string_view data) override;
+  StatusOr<std::string> Read(const std::string& name) override;
+  Status Remove(const std::string& name) override;
+  std::vector<std::string> List() const override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string PathFor(const std::string& name) const;
+
+  std::string dir_;
+};
+
+/// Creates a FileDiskBackend under a fresh unique temp directory, for
+/// examples and benchmarks.
+std::unique_ptr<DiskBackend> MakeTempFileBackend(const std::string& prefix);
+
+}  // namespace dcape
+
+#endif  // DCAPE_STORAGE_DISK_BACKEND_H_

@@ -1,0 +1,71 @@
+#include "storage/spill_store.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dcape {
+
+SpillStore::SpillStore(EngineId engine, const Config& config,
+                       std::unique_ptr<DiskBackend> backend)
+    : engine_(engine), config_(config), backend_(std::move(backend)) {
+  DCAPE_CHECK(backend_ != nullptr);
+  DCAPE_CHECK_GT(config_.write_bytes_per_tick, 0);
+  DCAPE_CHECK_GT(config_.read_bytes_per_tick, 0);
+}
+
+StatusOr<Tick> SpillStore::WriteSegment(PartitionId partition, Tick now,
+                                        std::string_view blob,
+                                        int64_t tuple_count, bool evicted) {
+  SpillSegmentMeta meta;
+  meta.engine = engine_;
+  meta.partition = partition;
+  meta.segment_id = next_segment_id_++;
+  meta.spill_time = now;
+  meta.bytes = static_cast<int64_t>(blob.size());
+  meta.tuple_count = tuple_count;
+  meta.evicted = evicted;
+  meta.object_name = "e" + std::to_string(engine_) + "_p" +
+                     std::to_string(partition) + "_s" +
+                     std::to_string(meta.segment_id) + ".spill";
+
+  DCAPE_RETURN_IF_ERROR(backend_->Write(meta.object_name, blob));
+
+  total_spilled_bytes_ += meta.bytes;
+  resident_bytes_ += meta.bytes;
+  segments_.push_back(meta);
+
+  const Tick io_ticks =
+      (meta.bytes + config_.write_bytes_per_tick - 1) /
+      config_.write_bytes_per_tick;
+  return io_ticks;
+}
+
+Status SpillStore::RemoveSegment(int64_t segment_id) {
+  for (auto it = segments_.begin(); it != segments_.end(); ++it) {
+    if (it->segment_id == segment_id) {
+      DCAPE_RETURN_IF_ERROR(backend_->Remove(it->object_name));
+      resident_bytes_ -= it->bytes;
+      segments_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no spill segment with id " +
+                          std::to_string(segment_id));
+}
+
+StatusOr<std::string> SpillStore::ReadSegment(const SpillSegmentMeta& meta,
+                                              Tick* io_ticks) const {
+  DCAPE_ASSIGN_OR_RETURN(std::string blob, backend_->Read(meta.object_name));
+  if (static_cast<int64_t>(blob.size()) != meta.bytes) {
+    return Status::Internal("spill segment size mismatch for " +
+                            meta.object_name);
+  }
+  if (io_ticks != nullptr) {
+    *io_ticks = (meta.bytes + config_.read_bytes_per_tick - 1) /
+                config_.read_bytes_per_tick;
+  }
+  return blob;
+}
+
+}  // namespace dcape

@@ -1,0 +1,101 @@
+#ifndef DCAPE_STORAGE_SPILL_STORE_H_
+#define DCAPE_STORAGE_SPILL_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "storage/disk_backend.h"
+
+namespace dcape {
+
+/// Metadata for one spilled partition-group generation.
+///
+/// A partition id may appear many times: each spill of the (re-grown)
+/// in-memory group freezes another generation (§3 of the paper: "multiple
+/// partition groups may exist given one partition ID"). `spill_time`
+/// provides the global generation ordering the cleanup phase needs.
+struct SpillSegmentMeta {
+  EngineId engine = 0;
+  PartitionId partition = 0;
+  /// Per-store monotonically increasing segment number.
+  int64_t segment_id = 0;
+  /// Virtual time at which the generation was frozen.
+  Tick spill_time = 0;
+  int64_t bytes = 0;
+  int64_t tuple_count = 0;
+  /// True for *eviction generations*: window-expired tuples preserved for
+  /// the cleanup phase. They join only against earlier generations (see
+  /// cleanup/cleanup.cc).
+  bool evicted = false;
+  /// Backend object name holding the serialized group.
+  std::string object_name;
+};
+
+/// The per-engine spill area: serialized partition-group generations plus
+/// a virtual-time I/O cost model (sequential write/read bandwidth).
+class SpillStore {
+ public:
+  struct Config {
+    /// Sequential write bandwidth, bytes per tick (virtual ms). 40 MB/s of
+    /// the paper's era ≈ 40000 bytes/ms.
+    int64_t write_bytes_per_tick = 40000;
+    /// Sequential read bandwidth, bytes per tick.
+    int64_t read_bytes_per_tick = 50000;
+  };
+
+  SpillStore(EngineId engine, const Config& config,
+             std::unique_ptr<DiskBackend> backend);
+
+  SpillStore(const SpillStore&) = delete;
+  SpillStore& operator=(const SpillStore&) = delete;
+
+  /// Persists one serialized partition-group generation. Returns the
+  /// virtual I/O duration in ticks; the caller (query engine) models the
+  /// spill as keeping the engine busy that long.
+  StatusOr<Tick> WriteSegment(PartitionId partition, Tick now,
+                              std::string_view blob, int64_t tuple_count,
+                              bool evicted = false);
+
+  /// Reads a segment back. `io_ticks` (optional out) receives the virtual
+  /// read duration, charged by the cleanup cost model.
+  StatusOr<std::string> ReadSegment(const SpillSegmentMeta& meta,
+                                    Tick* io_ticks = nullptr) const;
+
+  /// Removes a segment (used by online restore once the generation has
+  /// been merged back into memory). NotFound for unknown ids.
+  Status RemoveSegment(int64_t segment_id);
+
+  /// All segments in spill order.
+  const std::vector<SpillSegmentMeta>& segments() const { return segments_; }
+
+  /// Cumulative serialized bytes spilled (never decreases).
+  int64_t total_spilled_bytes() const { return total_spilled_bytes_; }
+  /// Bytes currently resident on disk (decreases on RemoveSegment).
+  int64_t resident_bytes() const { return resident_bytes_; }
+  /// Number of WriteSegment calls.
+  int64_t segment_count() const {
+    return static_cast<int64_t>(segments_.size());
+  }
+
+  EngineId engine() const { return engine_; }
+  const Config& config() const { return config_; }
+
+ private:
+  EngineId engine_;
+  Config config_;
+  std::unique_ptr<DiskBackend> backend_;
+  std::vector<SpillSegmentMeta> segments_;
+  int64_t next_segment_id_ = 0;
+  int64_t total_spilled_bytes_ = 0;
+  int64_t resident_bytes_ = 0;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_STORAGE_SPILL_STORE_H_

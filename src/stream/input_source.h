@@ -1,0 +1,32 @@
+#ifndef DCAPE_STREAM_INPUT_SOURCE_H_
+#define DCAPE_STREAM_INPUT_SOURCE_H_
+
+#include <vector>
+
+#include "common/virtual_clock.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// Where the split host's input tuples come from. The synthetic
+/// StreamGenerator is the default implementation; TraceSource replays a
+/// recorded trace — the substitution hook for driving the system with
+/// real captured streams instead of the paper's synthetic model.
+class InputSource {
+ public:
+  virtual ~InputSource() = default;
+
+  /// All tuples (across streams) arriving exactly at tick `now`. Called
+  /// once per tick with non-decreasing `now`.
+  virtual std::vector<Tuple> EmitForTick(Tick now) = 0;
+
+  /// Tuples emitted so far across all streams.
+  virtual int64_t total_emitted() const = 0;
+
+  /// Number of input streams this source produces.
+  virtual int num_streams() const = 0;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_STREAM_INPUT_SOURCE_H_

@@ -1,0 +1,84 @@
+#include "stream/stream_generator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dcape {
+
+StreamGenerator::StreamGenerator(const WorkloadConfig& config)
+    : config_(config), rng_(config.seed) {
+  DCAPE_CHECK_GE(config_.num_streams, 2);
+  DCAPE_CHECK_GT(config_.num_partitions, 0);
+  DCAPE_CHECK_GT(config_.inter_arrival_ticks, 0);
+  next_seq_.assign(static_cast<size_t>(config_.num_streams), 0);
+
+  keys_per_part_.reserve(static_cast<size_t>(config_.num_partitions));
+  for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+    const int64_t keys = KeysPerPartition(config_, p);
+    DCAPE_CHECK_LT(keys, kKeyStride);
+    keys_per_part_.push_back(keys);
+  }
+
+  if (config_.fluctuation.enabled) {
+    std::vector<bool> in_a(static_cast<size_t>(config_.num_partitions), false);
+    for (PartitionId p : config_.fluctuation.set_a) {
+      DCAPE_CHECK_GE(p, 0);
+      DCAPE_CHECK_LT(p, config_.num_partitions);
+      in_a[static_cast<size_t>(p)] = true;
+    }
+    for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+      (in_a[static_cast<size_t>(p)] ? set_a_ : set_b_).push_back(p);
+    }
+    DCAPE_CHECK(!set_a_.empty());
+    DCAPE_CHECK(!set_b_.empty());
+  }
+}
+
+PartitionId StreamGenerator::ChoosePartition(Tick now) {
+  if (!config_.fluctuation.enabled) {
+    return static_cast<PartitionId>(
+        rng_.Uniform(static_cast<uint64_t>(config_.num_partitions)));
+  }
+  const FluctuationConfig& fluct = config_.fluctuation;
+  const Tick phase = now / fluct.phase_ticks;
+  const bool a_hot = fluct.one_shot ? (phase == 0) : (phase % 2 == 0);
+  const double weight_a = a_hot ? fluct.hot_multiplier : 1.0;
+  const double weight_b = a_hot ? 1.0 : fluct.hot_multiplier;
+  const double mass_a = weight_a * static_cast<double>(set_a_.size());
+  const double mass_b = weight_b * static_cast<double>(set_b_.size());
+  const bool pick_a = rng_.Bernoulli(mass_a / (mass_a + mass_b));
+  const std::vector<PartitionId>& set = pick_a ? set_a_ : set_b_;
+  return set[rng_.Uniform(set.size())];
+}
+
+std::vector<Tuple> StreamGenerator::EmitForTick(Tick now) {
+  std::vector<Tuple> tuples;
+  if (now % config_.inter_arrival_ticks != 0) return tuples;
+  tuples.reserve(static_cast<size_t>(config_.num_streams));
+  for (StreamId s = 0; s < config_.num_streams; ++s) {
+    const PartitionId partition = ChoosePartition(now);
+    const int64_t keys = keys_per_part_[static_cast<size_t>(partition)];
+    const int64_t index = static_cast<int64_t>(
+        rng_.Uniform(static_cast<uint64_t>(keys)));
+
+    Tuple t;
+    t.stream_id = s;
+    t.seq = next_seq_[static_cast<size_t>(s)]++;
+    t.join_key = static_cast<JoinKey>(partition) * kKeyStride + index;
+    t.timestamp = now;
+    t.value = config_.value_min +
+              static_cast<int64_t>(rng_.Uniform(static_cast<uint64_t>(
+                  config_.value_max - config_.value_min + 1)));
+    t.category =
+        static_cast<int64_t>(rng_.Uniform(
+            static_cast<uint64_t>(config_.num_categories)));
+    t.payload.assign(static_cast<size_t>(config_.payload_bytes),
+                     static_cast<char>('a' + (t.seq % 26)));
+    tuples.push_back(std::move(t));
+    ++total_emitted_;
+  }
+  return tuples;
+}
+
+}  // namespace dcape

@@ -1,0 +1,70 @@
+#ifndef DCAPE_STREAM_STREAM_GENERATOR_H_
+#define DCAPE_STREAM_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/virtual_clock.h"
+#include "stream/input_source.h"
+#include "stream/workload.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// Produces the synthetic input streams of the paper's evaluation (§3.1).
+///
+/// Every `inter_arrival_ticks` each stream emits one tuple. The tuple's
+/// partition is drawn uniformly (or with the fluctuation skew of
+/// Figs. 9–10), and its join key uniformly from the partition's key
+/// domain, whose size realizes the configured join rate / tuple range:
+/// the *join multiplicative factor* of each key grows linearly with the
+/// processed input exactly as the paper describes, so output rates (and
+/// state) increase monotonically over the run.
+///
+/// Join keys encode their partition (`key = partition * 2^20 + index`), so
+/// the split operators recover the partition with `PartitionOfKey` — the
+/// moral equivalent of hashing the join column, but exactly invertible,
+/// which the tests exploit.
+class StreamGenerator : public InputSource {
+ public:
+  /// Key-domain stride per partition; keys of partition p lie in
+  /// [p * kKeyStride, (p+1) * kKeyStride).
+  static constexpr int64_t kKeyStride = 1 << 20;
+
+  explicit StreamGenerator(const WorkloadConfig& config);
+
+  StreamGenerator(const StreamGenerator&) = delete;
+  StreamGenerator& operator=(const StreamGenerator&) = delete;
+
+  /// All tuples (across streams) arriving exactly at tick `now`. The
+  /// driver must call this once per tick, with non-decreasing `now`.
+  std::vector<Tuple> EmitForTick(Tick now) override;
+
+  /// The partitioning function used by the split operators.
+  static PartitionId PartitionOfKey(JoinKey key) {
+    return static_cast<PartitionId>(key / kKeyStride);
+  }
+
+  /// Tuples emitted so far across all streams.
+  int64_t total_emitted() const override { return total_emitted_; }
+  int num_streams() const override { return config_.num_streams; }
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  PartitionId ChoosePartition(Tick now);
+
+  WorkloadConfig config_;
+  Rng rng_;
+  std::vector<int64_t> next_seq_;        // per stream
+  std::vector<int64_t> keys_per_part_;   // per partition
+  std::vector<PartitionId> set_a_;       // fluctuation set A
+  std::vector<PartitionId> set_b_;       // complement of set A
+  int64_t total_emitted_ = 0;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_STREAM_STREAM_GENERATOR_H_

@@ -1,0 +1,124 @@
+#include "stream/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "tuple/serde.h"
+
+namespace dcape {
+namespace {
+
+constexpr uint32_t kTraceMagic = 0xDCA9E7AC;
+constexpr size_t kCountOffset = 8;  // magic(4) + num_streams(4)
+
+}  // namespace
+
+TraceWriter::TraceWriter(int num_streams, std::string* out) : out_(out) {
+  DCAPE_CHECK(out_ != nullptr);
+  DCAPE_CHECK(out_->empty());
+  DCAPE_CHECK_GE(num_streams, 2);
+  ByteWriter writer(out_);
+  writer.PutU32(kTraceMagic);
+  writer.PutI32(num_streams);
+  writer.PutI64(0);  // record count, patched by Finish()
+}
+
+void TraceWriter::Append(Tick arrival, const Tuple& tuple) {
+  DCAPE_CHECK(!finished_);
+  DCAPE_CHECK_GE(arrival, last_arrival_);
+  last_arrival_ = arrival;
+  ByteWriter writer(out_);
+  writer.PutI64(arrival);
+  EncodeTuple(tuple, out_);
+  ++count_;
+}
+
+void TraceWriter::Finish() {
+  DCAPE_CHECK(!finished_);
+  finished_ = true;
+  // Patch the record count in place (little-endian i64 at kCountOffset).
+  uint64_t v = static_cast<uint64_t>(count_);
+  for (int i = 0; i < 8; ++i) {
+    (*out_)[kCountOffset + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+StatusOr<std::vector<TraceRecord>> DecodeTrace(std::string_view data,
+                                               int* num_streams) {
+  ByteReader reader(data);
+  DCAPE_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  if (magic != kTraceMagic) {
+    return Status::InvalidArgument("not a dcape trace (bad magic)");
+  }
+  DCAPE_ASSIGN_OR_RETURN(int32_t streams, reader.GetI32());
+  if (streams < 2) {
+    return Status::InvalidArgument("trace declares fewer than 2 streams");
+  }
+  if (num_streams != nullptr) *num_streams = streams;
+  DCAPE_ASSIGN_OR_RETURN(int64_t count, reader.GetI64());
+  if (count < 0) {
+    return Status::InvalidArgument("trace declares negative record count");
+  }
+
+  std::vector<TraceRecord> records;
+  // Never trust the declared count for allocation; each record is at
+  // least ~40 bytes on the wire, so cap the reserve by the input size.
+  records.reserve(std::min<size_t>(static_cast<size_t>(count),
+                                   data.size() / 40 + 16));
+  Tick last_arrival = 0;
+  for (int64_t i = 0; i < count; ++i) {
+    TraceRecord record;
+    DCAPE_ASSIGN_OR_RETURN(record.arrival, reader.GetI64());
+    if (record.arrival < last_arrival) {
+      return Status::InvalidArgument("trace arrivals out of order");
+    }
+    last_arrival = record.arrival;
+    DCAPE_ASSIGN_OR_RETURN(record.tuple, DecodeTuple(&reader));
+    if (record.tuple.stream_id < 0 || record.tuple.stream_id >= streams) {
+      return Status::InvalidArgument("trace tuple has invalid stream id");
+    }
+    records.push_back(std::move(record));
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after trace records");
+  }
+  return records;
+}
+
+Status WriteTraceFile(const std::string& path, std::string_view data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open trace file: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  if (!out) return Status::Internal("short write to trace file: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadTraceFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no trace file: " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return std::move(contents).str();
+}
+
+StatusOr<TraceSource> TraceSource::FromBytes(std::string_view data) {
+  int num_streams = 0;
+  DCAPE_ASSIGN_OR_RETURN(std::vector<TraceRecord> records,
+                         DecodeTrace(data, &num_streams));
+  return TraceSource(std::move(records), num_streams);
+}
+
+std::vector<Tuple> TraceSource::EmitForTick(Tick now) {
+  std::vector<Tuple> tuples;
+  while (next_ < records_.size() && records_[next_].arrival <= now) {
+    tuples.push_back(records_[next_].tuple);
+    ++next_;
+    ++emitted_;
+  }
+  return tuples;
+}
+
+}  // namespace dcape

@@ -1,0 +1,90 @@
+#ifndef DCAPE_STREAM_TRACE_H_
+#define DCAPE_STREAM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "stream/input_source.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// Binary stream-trace format: a header (magic, stream count, record
+/// count) followed by (arrival tick, serialized tuple) records in
+/// non-decreasing arrival order. Traces let experiments replay captured
+/// input instead of the synthetic workload — and make any run exactly
+/// repeatable across configurations.
+class TraceWriter {
+ public:
+  /// Starts a trace for `num_streams` input streams, writing into `out`
+  /// (owned by the caller; finalized by Finish()).
+  TraceWriter(int num_streams, std::string* out);
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends one record. Arrival ticks must be non-decreasing.
+  void Append(Tick arrival, const Tuple& tuple);
+
+  /// Patches the header with the final record count. Must be called once,
+  /// after the last Append.
+  void Finish();
+
+  int64_t count() const { return count_; }
+
+ private:
+  std::string* out_;
+  int64_t count_ = 0;
+  Tick last_arrival_ = 0;
+  bool finished_ = false;
+};
+
+/// One decoded trace record.
+struct TraceRecord {
+  Tick arrival = 0;
+  Tuple tuple;
+};
+
+/// Parses a full trace. Fails with InvalidArgument/OutOfRange on corrupt
+/// input.
+StatusOr<std::vector<TraceRecord>> DecodeTrace(std::string_view data,
+                                               int* num_streams = nullptr);
+
+/// Writes/reads traces as files.
+Status WriteTraceFile(const std::string& path, std::string_view data);
+StatusOr<std::string> ReadTraceFile(const std::string& path);
+
+/// Replays a trace as an InputSource: each record is emitted at its
+/// recorded arrival tick.
+class TraceSource : public InputSource {
+ public:
+  /// Parses and validates `data`.
+  static StatusOr<TraceSource> FromBytes(std::string_view data);
+
+  std::vector<Tuple> EmitForTick(Tick now) override;
+  int64_t total_emitted() const override { return emitted_; }
+  int num_streams() const override { return num_streams_; }
+
+  /// Records remaining to replay.
+  int64_t remaining() const {
+    return static_cast<int64_t>(records_.size()) -
+           static_cast<int64_t>(next_);
+  }
+
+ private:
+  TraceSource(std::vector<TraceRecord> records, int num_streams)
+      : records_(std::move(records)), num_streams_(num_streams) {}
+
+  std::vector<TraceRecord> records_;
+  int num_streams_;
+  size_t next_ = 0;
+  int64_t emitted_ = 0;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_STREAM_TRACE_H_

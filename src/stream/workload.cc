@@ -1,0 +1,74 @@
+#include "stream/workload.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dcape {
+
+std::vector<int> AssignClassesByFraction(
+    int num_partitions, const std::vector<double>& fractions) {
+  DCAPE_CHECK_GT(num_partitions, 0);
+  DCAPE_CHECK(!fractions.empty());
+  // Largest-remainder apportionment, then interleave by striding so that
+  // classes mix across the id space (ids are placed in contiguous blocks
+  // per engine, and each engine should see the configured mix).
+  std::vector<int> counts(fractions.size(), 0);
+  int assigned = 0;
+  for (size_t c = 0; c < fractions.size(); ++c) {
+    counts[c] = static_cast<int>(fractions[c] * num_partitions);
+    assigned += counts[c];
+  }
+  for (size_t c = 0; assigned < num_partitions; c = (c + 1) % counts.size()) {
+    ++counts[c];
+    ++assigned;
+  }
+  std::vector<int> classes(static_cast<size_t>(num_partitions), 0);
+  std::vector<int> remaining = counts;
+  size_t next_class = 0;
+  for (int p = 0; p < num_partitions; ++p) {
+    // Round-robin over classes that still have quota.
+    size_t tried = 0;
+    while (remaining[next_class] == 0 && tried < remaining.size()) {
+      next_class = (next_class + 1) % remaining.size();
+      ++tried;
+    }
+    classes[static_cast<size_t>(p)] = static_cast<int>(next_class);
+    --remaining[next_class];
+    next_class = (next_class + 1) % remaining.size();
+  }
+  return classes;
+}
+
+std::vector<int> AssignClassesByOwner(const std::vector<EngineId>& placement,
+                                      const std::vector<int>& class_of_engine) {
+  std::vector<int> classes(placement.size(), 0);
+  for (size_t p = 0; p < placement.size(); ++p) {
+    const EngineId e = placement[p];
+    DCAPE_CHECK_GE(e, 0);
+    DCAPE_CHECK_LT(static_cast<size_t>(e), class_of_engine.size());
+    classes[p] = class_of_engine[static_cast<size_t>(e)];
+  }
+  return classes;
+}
+
+int64_t KeysPerPartition(const WorkloadConfig& config, PartitionId p) {
+  DCAPE_CHECK_GE(p, 0);
+  DCAPE_CHECK_LT(p, config.num_partitions);
+  int class_index = 0;
+  if (!config.partition_class.empty()) {
+    DCAPE_CHECK_EQ(config.partition_class.size(),
+                   static_cast<size_t>(config.num_partitions));
+    class_index = config.partition_class[static_cast<size_t>(p)];
+  }
+  DCAPE_CHECK_GE(class_index, 0);
+  DCAPE_CHECK_LT(static_cast<size_t>(class_index), config.classes.size());
+  const PartitionClass& cls = config.classes[static_cast<size_t>(class_index)];
+  DCAPE_CHECK_GT(cls.join_rate, 0.0);
+  DCAPE_CHECK_GT(cls.tuple_range, 0);
+  const double keys = static_cast<double>(cls.tuple_range) /
+                      (cls.join_rate * config.num_partitions);
+  return std::max<int64_t>(1, std::llround(keys));
+}
+
+}  // namespace dcape

@@ -1,0 +1,87 @@
+#ifndef DCAPE_STREAM_WORKLOAD_H_
+#define DCAPE_STREAM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/virtual_clock.h"
+
+namespace dcape {
+
+/// One workload class of partitions, in the paper's terms (§3.1):
+/// the *join multiplicative factor* of a partition in this class grows by
+/// `join_rate` after every `tuple_range` input tuples of the stream.
+/// Internally that fixes the number of distinct join keys per partition:
+///   keys_per_partition = tuple_range / (join_rate * num_partitions)
+/// so that after n stream tuples each key has seen ≈ n*join_rate/
+/// tuple_range tuples per stream.
+struct PartitionClass {
+  double join_rate = 3.0;
+  int64_t tuple_range = 30000;
+};
+
+/// Time-varying load skew between two disjoint partition sets, used by the
+/// relocation experiments (Figs. 9–10): for `phase_ticks`, set A receives
+/// `hot_multiplier`× the per-partition tuple share of set B, then they
+/// swap, and so on.
+struct FluctuationConfig {
+  bool enabled = false;
+  Tick phase_ticks = MinutesToTicks(5);
+  double hot_multiplier = 10.0;
+  /// When set, the hot set switches from A to B once (after the first
+  /// phase) and never switches back — a permanent workload shift, unlike
+  /// the paper's alternating pattern.
+  bool one_shot = false;
+  /// Partitions forming set A; all others form set B.
+  std::vector<PartitionId> set_a;
+};
+
+/// Full description of the synthetic input streams.
+struct WorkloadConfig {
+  /// Number of join inputs (m of the m-way join).
+  int num_streams = 3;
+  /// Number of hash partitions each split produces (n >> #machines).
+  int num_partitions = 60;
+  /// Virtual ticks between consecutive tuples of one stream (the paper
+  /// uses a 30 ms inter-arrival per stream).
+  Tick inter_arrival_ticks = 30;
+  /// Payload bytes per tuple (stands in for non-join columns).
+  int payload_bytes = 64;
+  /// Domain size of the categorical column (Tuple::category), drawn
+  /// uniformly — the brokers of QUERY 1.
+  int64_t num_categories = 50;
+  /// Range of the numeric column (Tuple::value), drawn uniformly in
+  /// [value_min, value_max] — the offer price of QUERY 1.
+  int64_t value_min = 1;
+  int64_t value_max = 1000;
+  /// Workload classes; `partition_class[p]` indexes into this vector.
+  std::vector<PartitionClass> classes = {PartitionClass{}};
+  /// Class index per partition (size == num_partitions). Empty means
+  /// "all partitions in class 0".
+  std::vector<int> partition_class;
+  FluctuationConfig fluctuation;
+  uint64_t seed = 42;
+};
+
+/// Assigns classes to partitions in proportion to `fractions` (which must
+/// sum to ~1), interleaved round-robin so every machine's slice contains
+/// the same mix — the setup of Fig. 7 ("1/3 of the partitions with join
+/// rate 4, 1/3 with 2, ...").
+std::vector<int> AssignClassesByFraction(int num_partitions,
+                                         const std::vector<double>& fractions);
+
+/// Assigns each partition the class of its initially-placed engine — the
+/// setup of Figs. 13–14 ("partitions assigned to machine m1 have join rate
+/// 4, the others 1"). `placement[p]` is the initial engine of partition p
+/// and `class_of_engine[e]` the class index for engine e.
+std::vector<int> AssignClassesByOwner(const std::vector<EngineId>& placement,
+                                      const std::vector<int>& class_of_engine);
+
+/// Distinct join keys for partition `p` under `config` (see
+/// PartitionClass). Always >= 1.
+int64_t KeysPerPartition(const WorkloadConfig& config, PartitionId p);
+
+}  // namespace dcape
+
+#endif  // DCAPE_STREAM_WORKLOAD_H_

@@ -1,0 +1,19 @@
+#include "tuple/projection.h"
+
+namespace dcape {
+
+const char* AggregateOpName(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kNone:
+      return "none";
+    case AggregateOp::kMin:
+      return "min";
+    case AggregateOp::kMax:
+      return "max";
+    case AggregateOp::kSum:
+      return "sum";
+  }
+  return "unknown";
+}
+
+}  // namespace dcape

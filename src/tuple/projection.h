@@ -1,0 +1,53 @@
+#ifndef DCAPE_TUPLE_PROJECTION_H_
+#define DCAPE_TUPLE_PROJECTION_H_
+
+#include <cstdint>
+
+#include "common/ids.h"
+
+namespace dcape {
+
+/// Aggregate function applied across the member tuples of one join
+/// result to produce its `agg_value`.
+enum class AggregateOp {
+  kNone,
+  kMin,
+  kMax,
+  kSum,
+};
+
+/// Returns a stable display name ("min", ...).
+const char* AggregateOpName(AggregateOp op);
+
+/// Projects each m-way join result onto (group_key, agg_value) — the
+/// post-join part of the paper's QUERY 1 (`SELECT brokerName, min(price)
+/// ... GROUP BY brokerName`): the group key is the categorical column of
+/// one designated input stream, and the aggregate input is `op` applied
+/// over the member tuples' numeric columns.
+struct ResultProjection {
+  /// Stream whose `category` column becomes the result's group key.
+  StreamId group_stream = 0;
+  AggregateOp op = AggregateOp::kMin;
+};
+
+/// Folds one member value into the running aggregate (`first` marks the
+/// initial member).
+inline int64_t FoldAggregate(AggregateOp op, int64_t acc, int64_t value,
+                             bool first) {
+  if (first) return value;
+  switch (op) {
+    case AggregateOp::kNone:
+      return acc;
+    case AggregateOp::kMin:
+      return value < acc ? value : acc;
+    case AggregateOp::kMax:
+      return value > acc ? value : acc;
+    case AggregateOp::kSum:
+      return acc + value;
+  }
+  return acc;
+}
+
+}  // namespace dcape
+
+#endif  // DCAPE_TUPLE_PROJECTION_H_

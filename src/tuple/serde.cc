@@ -1,0 +1,116 @@
+#include "tuple/serde.h"
+
+#include <cstring>
+
+namespace dcape {
+
+void ByteWriter::PutU32(uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_->append(buf, 4);
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out_->append(buf, 8);
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  out_->append(s.data(), s.size());
+}
+
+StatusOr<uint32_t> ByteReader::GetU32() {
+  if (remaining() < 4) {
+    return Status::OutOfRange("truncated input reading u32");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+StatusOr<uint64_t> ByteReader::GetU64() {
+  if (remaining() < 8) {
+    return Status::OutOfRange("truncated input reading u64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+StatusOr<int32_t> ByteReader::GetI32() {
+  DCAPE_ASSIGN_OR_RETURN(uint32_t v, GetU32());
+  return static_cast<int32_t>(v);
+}
+
+StatusOr<int64_t> ByteReader::GetI64() {
+  DCAPE_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+
+StatusOr<std::string> ByteReader::GetString() {
+  DCAPE_ASSIGN_OR_RETURN(uint32_t size, GetU32());
+  if (remaining() < size) {
+    return Status::OutOfRange("truncated input reading string body");
+  }
+  std::string s(data_.substr(pos_, size));
+  pos_ += size;
+  return s;
+}
+
+void EncodeTuple(const Tuple& tuple, std::string* out) {
+  ByteWriter writer(out);
+  writer.PutI32(tuple.stream_id);
+  writer.PutI64(tuple.seq);
+  writer.PutI64(tuple.join_key);
+  writer.PutI64(tuple.timestamp);
+  writer.PutI64(tuple.value);
+  writer.PutI64(tuple.category);
+  writer.PutString(tuple.payload);
+}
+
+StatusOr<Tuple> DecodeTuple(ByteReader* reader) {
+  Tuple t;
+  DCAPE_ASSIGN_OR_RETURN(t.stream_id, reader->GetI32());
+  DCAPE_ASSIGN_OR_RETURN(t.seq, reader->GetI64());
+  DCAPE_ASSIGN_OR_RETURN(t.join_key, reader->GetI64());
+  DCAPE_ASSIGN_OR_RETURN(t.timestamp, reader->GetI64());
+  DCAPE_ASSIGN_OR_RETURN(t.value, reader->GetI64());
+  DCAPE_ASSIGN_OR_RETURN(t.category, reader->GetI64());
+  DCAPE_ASSIGN_OR_RETURN(t.payload, reader->GetString());
+  return t;
+}
+
+void EncodeTupleBatch(const TupleBatch& batch, std::string* out) {
+  ByteWriter writer(out);
+  writer.PutI32(batch.stream_id);
+  writer.PutU32(static_cast<uint32_t>(batch.tuples.size()));
+  for (const Tuple& t : batch.tuples) EncodeTuple(t, out);
+}
+
+StatusOr<TupleBatch> DecodeTupleBatch(std::string_view data) {
+  ByteReader reader(data);
+  TupleBatch batch;
+  DCAPE_ASSIGN_OR_RETURN(batch.stream_id, reader.GetI32());
+  DCAPE_ASSIGN_OR_RETURN(uint32_t count, reader.GetU32());
+  batch.tuples.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    DCAPE_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(&reader));
+    batch.tuples.push_back(std::move(t));
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes after tuple batch");
+  }
+  return batch;
+}
+
+}  // namespace dcape

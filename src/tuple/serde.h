@@ -1,0 +1,71 @@
+#ifndef DCAPE_TUPLE_SERDE_H_
+#define DCAPE_TUPLE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+
+/// Appends fixed-width little-endian primitives and length-prefixed
+/// strings to a byte buffer. Used for spill files and simulated network
+/// state transfer, so that spilled/relocated state is genuinely
+/// byte-serialized (real data plane).
+class ByteWriter {
+ public:
+  /// Writes into `out`, which must outlive the writer. Existing contents
+  /// are preserved; new bytes are appended.
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// Length-prefixed (u32) byte string.
+  void PutString(std::string_view s);
+
+ private:
+  std::string* out_;
+};
+
+/// Consumes primitives written by ByteWriter. All getters return
+/// OutOfRange on truncated input instead of crashing, so corrupt spill
+/// files surface as Status errors.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data), pos_(0) {}
+
+  StatusOr<uint32_t> GetU32();
+  StatusOr<uint64_t> GetU64();
+  StatusOr<int32_t> GetI32();
+  StatusOr<int64_t> GetI64();
+  StatusOr<std::string> GetString();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return data_.size() - pos_; }
+  /// True when the whole buffer has been consumed.
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  std::string_view data_;
+  size_t pos_;
+};
+
+/// Serializes one tuple (appends to `out`).
+void EncodeTuple(const Tuple& tuple, std::string* out);
+
+/// Deserializes one tuple from the reader's current position.
+StatusOr<Tuple> DecodeTuple(ByteReader* reader);
+
+/// Serializes a batch: stream id, count, then each tuple.
+void EncodeTupleBatch(const TupleBatch& batch, std::string* out);
+
+/// Deserializes a batch written by EncodeTupleBatch.
+StatusOr<TupleBatch> DecodeTupleBatch(std::string_view data);
+
+}  // namespace dcape
+
+#endif  // DCAPE_TUPLE_SERDE_H_

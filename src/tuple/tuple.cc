@@ -1,0 +1,21 @@
+#include "tuple/tuple.h"
+
+#include <cstdio>
+
+namespace dcape {
+
+std::string JoinResult::EncodeKey() const {
+  std::string key;
+  key.reserve(16 + member_seqs.size() * 12);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "p%d:k%lld", partition,
+                static_cast<long long>(join_key));
+  key += buf;
+  for (int64_t seq : member_seqs) {
+    std::snprintf(buf, sizeof(buf), ":%lld", static_cast<long long>(seq));
+    key += buf;
+  }
+  return key;
+}
+
+}  // namespace dcape

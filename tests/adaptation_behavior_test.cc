@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.h"
+#include "tests/test_util.h"
+
+namespace dcape {
+namespace {
+
+using testing::SmallClusterConfig;
+
+/// Behavioural (shape) assertions matching the paper's qualitative
+/// findings, on deterministic scaled-down runs.
+
+TEST(AdaptationBehaviorTest, SpillKeepsMemoryNearThreshold) {
+  ClusterConfig config = SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  config.run_duration = MinutesToTicks(2);
+  config.collect_results = false;
+  config.cleanup.collect_results = false;
+  config.spill.memory_threshold_bytes = 64 * kKiB;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  ASSERT_GT(result.spill_events, 0);
+  // Memory stays bounded: between ss_timer checks at most ~1 second of
+  // input (~100 tuples * ~90 B) can accumulate above the threshold.
+  for (const TimeSeries& series : result.engine_memory) {
+    EXPECT_LT(series.Max(), 64.0 * kKiB + 32.0 * kKiB)
+        << series.name() << " exceeded the threshold band";
+  }
+}
+
+TEST(AdaptationBehaviorTest, WithoutAdaptationMemoryGrowsPastThreshold) {
+  ClusterConfig config = SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  config.run_duration = MinutesToTicks(2);
+  config.collect_results = false;
+  config.cleanup.collect_results = false;
+  config.spill.memory_threshold_bytes = 64 * kKiB;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  double max_memory = 0;
+  for (const TimeSeries& series : result.engine_memory) {
+    max_memory = std::max(max_memory, series.Max());
+  }
+  EXPECT_GT(max_memory, 64.0 * kKiB);
+}
+
+TEST(AdaptationBehaviorTest, HigherSpillFractionMeansFewerSpills) {
+  ClusterConfig config = SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  config.run_duration = MinutesToTicks(2);
+  config.collect_results = false;
+  config.cleanup.collect_results = false;
+  config.spill.memory_threshold_bytes = 48 * kKiB;
+
+  config.spill.spill_fraction = 0.1;
+  RunResult small_push = Cluster(config).Run();
+  config.spill.spill_fraction = 0.6;
+  RunResult big_push = Cluster(config).Run();
+
+  ASSERT_GT(small_push.spill_events, 0);
+  ASSERT_GT(big_push.spill_events, 0);
+  EXPECT_GT(small_push.spill_events, big_push.spill_events)
+      << "pushing more per adaptation must trigger fewer adaptations";
+}
+
+TEST(AdaptationBehaviorTest, RelocationBalancesSkewedPlacement) {
+  ClusterConfig config = SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kRelocationOnly;
+  config.placement_fractions = {0.8, 0.2};
+  config.run_duration = MinutesToTicks(2);
+  config.collect_results = false;
+  config.cleanup.collect_results = false;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  ASSERT_GT(result.coordinator.relocations_completed, 0);
+  const double m0 = result.engine_memory[0].Last();
+  const double m1 = result.engine_memory[1].Last();
+  ASSERT_GT(m0 + m1, 0);
+  const double ratio = std::min(m0, m1) / std::max(m0, m1);
+  EXPECT_GT(ratio, 0.5) << "final memory should be roughly balanced, got "
+                        << m0 << " vs " << m1;
+}
+
+TEST(AdaptationBehaviorTest, NoRelocationLeavesSkewUnbalanced) {
+  ClusterConfig config = SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  config.placement_fractions = {0.8, 0.2};
+  config.run_duration = MinutesToTicks(2);
+  config.collect_results = false;
+  config.cleanup.collect_results = false;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  const double m0 = result.engine_memory[0].Last();
+  const double m1 = result.engine_memory[1].Last();
+  const double ratio = std::min(m0, m1) / std::max(m0, m1);
+  EXPECT_LT(ratio, 0.5);
+}
+
+TEST(AdaptationBehaviorTest, PushLessProductiveBeatsPushMoreProductive) {
+  // The Fig. 7 finding, on a scaled run: with heterogeneous partition
+  // productivity, spilling the less productive groups first yields more
+  // run-time output.
+  ClusterConfig config = SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  config.num_engines = 1;
+  config.run_duration = MinutesToTicks(3);
+  config.collect_results = false;
+  config.cleanup.collect_results = false;
+  config.spill.memory_threshold_bytes = 64 * kKiB;
+  config.workload.classes = {PartitionClass{4.0, 480}, PartitionClass{2.0, 480},
+                             PartitionClass{1.0, 480}};
+  config.workload.partition_class = AssignClassesByFraction(
+      config.workload.num_partitions, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+
+  config.spill.policy = SpillPolicy::kLeastProductiveFirst;
+  RunResult less = Cluster(config).Run();
+  config.spill.policy = SpillPolicy::kMostProductiveFirst;
+  RunResult more = Cluster(config).Run();
+
+  ASSERT_GT(less.spill_events, 0);
+  ASSERT_GT(more.spill_events, 0);
+  EXPECT_GT(less.runtime_results, more.runtime_results);
+  // And the cleanup debt is correspondingly smaller.
+  EXPECT_LT(less.cleanup.result_count, more.cleanup.result_count);
+}
+
+TEST(AdaptationBehaviorTest, LazyDiskOutputsAtLeastSpillOnlyUnderSkew) {
+  // The Fig. 12 finding: with a skewed placement and constrained memory,
+  // lazy-disk (relocation first) beats pure local spilling.
+  ClusterConfig config = SmallClusterConfig();
+  config.num_engines = 3;
+  config.placement_fractions = {2.0 / 3, 1.0 / 6, 1.0 / 6};
+  config.run_duration = MinutesToTicks(3);
+  config.collect_results = false;
+  config.cleanup.collect_results = false;
+  config.spill.memory_threshold_bytes = 48 * kKiB;
+
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  RunResult spill_only = Cluster(config).Run();
+  config.strategy = AdaptationStrategy::kLazyDisk;
+  RunResult lazy = Cluster(config).Run();
+
+  ASSERT_GT(spill_only.spill_events, 0);
+  EXPECT_GT(lazy.runtime_results, spill_only.runtime_results);
+}
+
+TEST(AdaptationBehaviorTest, StateConservedAcrossRelocations) {
+  ClusterConfig config = SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kRelocationOnly;
+  config.placement_fractions = {0.8, 0.2};
+  config.run_duration = MinutesToTicks(1);
+  config.collect_results = false;
+  config.cleanup.collect_results = false;
+  Cluster cluster(config);
+  cluster.RunUntil(config.run_duration);
+  cluster.Drain();
+
+  // Every generated tuple is accounted for in some engine's state
+  // (nothing spilled, nothing lost in flight after drain).
+  int64_t tuples_in_state = 0;
+  for (EngineId e = 0; e < cluster.num_engines(); ++e) {
+    tuples_in_state += cluster.engine(e).mjoin().state().total_tuples();
+  }
+  EXPECT_EQ(tuples_in_state,
+            cluster.source().total_emitted());
+
+  // Relocation really moved bytes and none were created or destroyed.
+  RunResult result = cluster.Collect();
+  ASSERT_GT(result.coordinator.relocations_completed, 0);
+  int64_t out_bytes = 0;
+  int64_t in_bytes = 0;
+  for (const auto& counters : result.engines) {
+    out_bytes += counters.bytes_relocated_out;
+    in_bytes += counters.bytes_relocated_in;
+  }
+  EXPECT_EQ(out_bytes, in_bytes);
+  EXPECT_GT(out_bytes, 0);
+}
+
+TEST(AdaptationBehaviorTest, HigherThetaMeansMoreRelocations) {
+  // The Fig. 9 finding: a tighter balance threshold (θ_r → 1) triggers
+  // more relocations, each moving less.
+  ClusterConfig config = SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kRelocationOnly;
+  config.run_duration = MinutesToTicks(3);
+  config.collect_results = false;
+  config.cleanup.collect_results = false;
+  config.workload.fluctuation.enabled = true;
+  config.workload.fluctuation.phase_ticks = SecondsToTicks(30);
+  config.relocation.min_time_between = SecondsToTicks(10);
+  config.relocation.min_relocate_bytes = 1 * kKiB;
+
+  config.relocation.theta_r = 0.9;
+  RunResult tight = Cluster(config).Run();
+  config.relocation.theta_r = 0.5;
+  RunResult loose = Cluster(config).Run();
+
+  EXPECT_GT(tight.coordinator.relocations_completed,
+            loose.coordinator.relocations_completed);
+}
+
+}  // namespace
+}  // namespace dcape

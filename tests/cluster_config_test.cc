@@ -1,0 +1,78 @@
+#include "runtime/cluster_config.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dcape {
+namespace {
+
+TEST(ComputePlacementTest, UniformByDefault) {
+  std::vector<EngineId> placement = ComputePlacement(12, 3, {});
+  std::map<EngineId, int> counts;
+  for (EngineId e : placement) counts[e] += 1;
+  EXPECT_EQ(counts[0], 4);
+  EXPECT_EQ(counts[1], 4);
+  EXPECT_EQ(counts[2], 4);
+}
+
+TEST(ComputePlacementTest, ContiguousBlocks) {
+  std::vector<EngineId> placement = ComputePlacement(10, 2, {0.6, 0.4});
+  for (size_t p = 1; p < placement.size(); ++p) {
+    EXPECT_GE(placement[p], placement[p - 1]) << "blocks must be contiguous";
+  }
+  std::map<EngineId, int> counts;
+  for (EngineId e : placement) counts[e] += 1;
+  EXPECT_EQ(counts[0], 6);
+  EXPECT_EQ(counts[1], 4);
+}
+
+TEST(ComputePlacementTest, SkewedThreeWay) {
+  // The Fig. 12 setup: one machine gets 2/3, the others split 1/3.
+  std::vector<EngineId> placement =
+      ComputePlacement(60, 3, {2.0 / 3, 1.0 / 6, 1.0 / 6});
+  std::map<EngineId, int> counts;
+  for (EngineId e : placement) counts[e] += 1;
+  EXPECT_EQ(counts[0], 40);
+  EXPECT_EQ(counts[1], 10);
+  EXPECT_EQ(counts[2], 10);
+}
+
+TEST(ComputePlacementTest, EveryEngineAppearsEvenWithRounding) {
+  std::vector<EngineId> placement = ComputePlacement(7, 3, {0.5, 0.25, 0.25});
+  std::map<EngineId, int> counts;
+  for (EngineId e : placement) counts[e] += 1;
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(PartitionsOfEngineTest, ReturnsOwnedIds) {
+  std::vector<EngineId> placement = {0, 0, 1, 1, 1, 2};
+  EXPECT_EQ(PartitionsOfEngine(placement, 0),
+            (std::vector<PartitionId>{0, 1}));
+  EXPECT_EQ(PartitionsOfEngine(placement, 1),
+            (std::vector<PartitionId>{2, 3, 4}));
+  EXPECT_EQ(PartitionsOfEngine(placement, 2), (std::vector<PartitionId>{5}));
+  EXPECT_TRUE(PartitionsOfEngine(placement, 3).empty());
+}
+
+TEST(StrategyTest, NamesAndCapabilities) {
+  EXPECT_STREQ(StrategyName(AdaptationStrategy::kLazyDisk), "lazy-disk");
+  EXPECT_STREQ(StrategyName(AdaptationStrategy::kActiveDisk), "active-disk");
+  EXPECT_STREQ(SpillPolicyName(SpillPolicy::kLeastProductiveFirst),
+               "push-less-productive");
+
+  EXPECT_FALSE(StrategySpillsLocally(AdaptationStrategy::kNoAdaptation));
+  EXPECT_TRUE(StrategySpillsLocally(AdaptationStrategy::kSpillOnly));
+  EXPECT_FALSE(StrategySpillsLocally(AdaptationStrategy::kRelocationOnly));
+  EXPECT_TRUE(StrategySpillsLocally(AdaptationStrategy::kLazyDisk));
+  EXPECT_TRUE(StrategySpillsLocally(AdaptationStrategy::kActiveDisk));
+
+  EXPECT_FALSE(StrategyRelocates(AdaptationStrategy::kNoAdaptation));
+  EXPECT_FALSE(StrategyRelocates(AdaptationStrategy::kSpillOnly));
+  EXPECT_TRUE(StrategyRelocates(AdaptationStrategy::kRelocationOnly));
+  EXPECT_TRUE(StrategyRelocates(AdaptationStrategy::kLazyDisk));
+  EXPECT_TRUE(StrategyRelocates(AdaptationStrategy::kActiveDisk));
+}
+
+}  // namespace
+}  // namespace dcape

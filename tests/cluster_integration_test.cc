@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.h"
+#include "tests/test_util.h"
+
+namespace dcape {
+namespace {
+
+using testing::AllResults;
+using testing::SmallClusterConfig;
+using testing::ToMultiset;
+
+TEST(ClusterIntegrationTest, AllMemoryRunProducesResultsAndNoCleanupWork) {
+  ClusterConfig config = SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  EXPECT_GT(result.tuples_generated, 0);
+  EXPECT_GT(result.runtime_results, 0);
+  EXPECT_EQ(result.cleanup.result_count, 0);
+  EXPECT_EQ(result.spill_events, 0);
+  EXPECT_EQ(result.coordinator.relocations_completed, 0);
+  EXPECT_EQ(static_cast<int64_t>(result.collected.size()),
+            result.runtime_results);
+}
+
+TEST(ClusterIntegrationTest, RuntimeResultsHaveNoDuplicates) {
+  ClusterConfig config = SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  auto multiset = ToMultiset(result.collected);
+  for (const auto& [key, count] : multiset) {
+    ASSERT_EQ(count, 1) << "duplicate runtime result: " << key;
+  }
+}
+
+TEST(ClusterIntegrationTest, SpillOnlyMatchesReferenceAfterCleanup) {
+  ClusterConfig config = SmallClusterConfig();
+  std::vector<JoinResult> reference = testing::ReferenceResults(config);
+  ASSERT_FALSE(reference.empty());
+
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  EXPECT_GT(result.spill_events, 0) << "test config must actually spill";
+  EXPECT_GT(result.cleanup.result_count, 0);
+  EXPECT_LT(result.runtime_results,
+            static_cast<int64_t>(reference.size()))
+      << "spilling must defer some results to cleanup";
+
+  EXPECT_EQ(ToMultiset(AllResults(result)), ToMultiset(reference));
+}
+
+TEST(ClusterIntegrationTest, LazyDiskMatchesReference) {
+  ClusterConfig config = SmallClusterConfig();
+  std::vector<JoinResult> reference = testing::ReferenceResults(config);
+
+  config.strategy = AdaptationStrategy::kLazyDisk;
+  // Skew the initial placement so relocation has something to do.
+  config.placement_fractions = {0.75, 0.25};
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  EXPECT_GT(result.coordinator.relocations_completed, 0);
+  EXPECT_EQ(ToMultiset(AllResults(result)), ToMultiset(reference));
+}
+
+TEST(ClusterIntegrationTest, RelocationOnlyKeepsEverythingInMemory) {
+  ClusterConfig config = SmallClusterConfig();
+  std::vector<JoinResult> reference = testing::ReferenceResults(config);
+
+  config.strategy = AdaptationStrategy::kRelocationOnly;
+  config.placement_fractions = {0.8, 0.2};
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  EXPECT_GT(result.coordinator.relocations_completed, 0);
+  EXPECT_EQ(result.spill_events, 0);
+  EXPECT_EQ(result.cleanup.result_count, 0);
+  EXPECT_EQ(ToMultiset(AllResults(result)), ToMultiset(reference));
+}
+
+TEST(ClusterIntegrationTest, ActiveDiskMatchesReference) {
+  ClusterConfig config = SmallClusterConfig();
+  std::vector<JoinResult> reference = testing::ReferenceResults(config);
+
+  config.strategy = AdaptationStrategy::kActiveDisk;
+  config.placement_fractions = {0.6, 0.4};
+  config.run_duration = SecondsToTicks(30);
+  // Make engine 0's partitions far more productive so the productivity
+  // rule has a reason to fire.
+  std::vector<EngineId> placement = Cluster::PlacementFor(config);
+  config.workload.classes = {PartitionClass{4.0, 1920},
+                             PartitionClass{1.0, 480}};
+  config.workload.partition_class = AssignClassesByOwner(placement, {0, 1});
+  std::vector<JoinResult> skewed_reference =
+      testing::ReferenceResults(config);
+
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  EXPECT_EQ(ToMultiset(AllResults(result)), ToMultiset(skewed_reference));
+}
+
+}  // namespace
+}  // namespace dcape

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "common/virtual_clock.h"
+
+namespace dcape {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformCoversTheRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(VirtualClockTest, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.AdvanceTo(5);
+  clock.AdvanceTo(5);  // same tick OK
+  clock.AdvanceTo(100);
+  EXPECT_EQ(clock.now(), 100);
+}
+
+TEST(PeriodicTimerTest, FiresOncePerPeriod) {
+  PeriodicTimer timer(10);
+  EXPECT_FALSE(timer.Expired(5));
+  EXPECT_TRUE(timer.Expired(10));
+  EXPECT_FALSE(timer.Expired(11));
+  EXPECT_FALSE(timer.Expired(19));
+  EXPECT_TRUE(timer.Expired(20));
+}
+
+TEST(PeriodicTimerTest, LargeJumpFiresOnce) {
+  PeriodicTimer timer(10);
+  EXPECT_TRUE(timer.Expired(1000));
+  EXPECT_FALSE(timer.Expired(1001));
+  EXPECT_TRUE(timer.Expired(1010));
+}
+
+TEST(PeriodicTimerTest, ResetRearms) {
+  PeriodicTimer timer(10);
+  timer.Reset(7);
+  EXPECT_FALSE(timer.Expired(10));
+  EXPECT_TRUE(timer.Expired(17));
+}
+
+TEST(TickConversionTest, SecondsAndMinutes) {
+  EXPECT_EQ(SecondsToTicks(1), 1000);
+  EXPECT_EQ(SecondsToTicks(45), 45000);
+  EXPECT_EQ(MinutesToTicks(1), 60000);
+  EXPECT_EQ(MinutesToTicks(40), 2400000);
+}
+
+TEST(UnitsTest, FormatBytesPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB + kMiB / 2), "3.50 MiB");
+  EXPECT_EQ(FormatBytes(2 * kGiB), "2.00 GiB");
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(-2048), "-2.00 KiB");
+}
+
+TEST(LoggingTest, LevelGatesEmission) {
+  LogLevel original = Logging::level();
+  Logging::SetLevel(LogLevel::kError);
+  EXPECT_FALSE(Logging::Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(Logging::Enabled(LogLevel::kInfo));
+  EXPECT_FALSE(Logging::Enabled(LogLevel::kWarning));
+  EXPECT_TRUE(Logging::Enabled(LogLevel::kError));
+  Logging::SetLevel(LogLevel::kDebug);
+  EXPECT_TRUE(Logging::Enabled(LogLevel::kInfo));
+  Logging::SetLevel(original);
+}
+
+}  // namespace
+}  // namespace dcape

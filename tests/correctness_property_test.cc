@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "runtime/cluster.h"
+#include "tests/test_util.h"
+
+namespace dcape {
+namespace {
+
+using testing::AllResults;
+using testing::SmallClusterConfig;
+using testing::ToMultiset;
+
+/// The library's central invariant, checked across the whole strategy and
+/// configuration space: for any adaptation strategy, spill policy, engine
+/// count, and placement skew, (run-time results) ∪ (cleanup results)
+/// equals the all-memory reference join exactly — no losses and no
+/// duplicates. This is the property the paper's correctness argument
+/// (partition-group granularity + cleanup) rests on.
+struct PropertyCase {
+  AdaptationStrategy strategy;
+  SpillPolicy policy;
+  int num_engines;
+  std::vector<double> placement;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  std::string name = StrategyName(c.strategy);
+  name += "_";
+  name += SpillPolicyName(c.policy);
+  name += "_e" + std::to_string(c.num_engines) + "_s" +
+          std::to_string(c.seed);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+class ExactnessProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ExactnessProperty, RuntimePlusCleanupEqualsReference) {
+  const PropertyCase& param = GetParam();
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(40);
+  config.num_engines = param.num_engines;
+  config.placement_fractions = param.placement;
+  config.spill.policy = param.policy;
+  config.workload.seed = param.seed;
+  config.seed = param.seed;
+
+  std::vector<JoinResult> reference = testing::ReferenceResults(config);
+  ASSERT_FALSE(reference.empty());
+
+  config.strategy = param.strategy;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  auto all = ToMultiset(AllResults(result));
+  for (const auto& [key, count] : all) {
+    ASSERT_EQ(count, 1) << "duplicate result " << key << " under "
+                        << StrategyName(param.strategy);
+  }
+  EXPECT_EQ(all, ToMultiset(reference))
+      << "result set mismatch under " << StrategyName(param.strategy) << "/"
+      << SpillPolicyName(param.policy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategySweep, ExactnessProperty,
+    ::testing::Values(
+        PropertyCase{AdaptationStrategy::kSpillOnly,
+                     SpillPolicy::kLeastProductiveFirst, 2, {}, 1},
+        PropertyCase{AdaptationStrategy::kSpillOnly,
+                     SpillPolicy::kMostProductiveFirst, 2, {}, 2},
+        PropertyCase{AdaptationStrategy::kSpillOnly, SpillPolicy::kLargestFirst,
+                     2, {}, 3},
+        PropertyCase{AdaptationStrategy::kSpillOnly,
+                     SpillPolicy::kSmallestFirst, 2, {}, 4},
+        PropertyCase{AdaptationStrategy::kSpillOnly, SpillPolicy::kRandom, 2,
+                     {}, 5},
+        PropertyCase{AdaptationStrategy::kRelocationOnly,
+                     SpillPolicy::kLeastProductiveFirst, 2, {0.8, 0.2}, 6},
+        PropertyCase{AdaptationStrategy::kRelocationOnly,
+                     SpillPolicy::kLeastProductiveFirst, 3,
+                     {0.6, 0.2, 0.2}, 7},
+        PropertyCase{AdaptationStrategy::kLazyDisk,
+                     SpillPolicy::kLeastProductiveFirst, 2, {0.75, 0.25}, 8},
+        PropertyCase{AdaptationStrategy::kLazyDisk,
+                     SpillPolicy::kLeastProductiveFirst, 3,
+                     {2.0 / 3, 1.0 / 6, 1.0 / 6}, 9},
+        PropertyCase{AdaptationStrategy::kLazyDisk, SpillPolicy::kRandom, 2,
+                     {0.5, 0.5}, 10},
+        PropertyCase{AdaptationStrategy::kActiveDisk,
+                     SpillPolicy::kLeastProductiveFirst, 2, {0.6, 0.4}, 11},
+        PropertyCase{AdaptationStrategy::kActiveDisk,
+                     SpillPolicy::kLeastProductiveFirst, 3, {}, 12}),
+    CaseName);
+
+/// Under load fluctuation (the Figs. 9–10 adversarial input), relocation
+/// keeps bouncing state between machines; exactness must survive.
+TEST(FluctuationProperty, RelocationUnderAlternatingLoadIsExact) {
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = MinutesToTicks(2);
+  config.workload.fluctuation.enabled = true;
+  config.workload.fluctuation.phase_ticks = SecondsToTicks(20);
+  config.workload.fluctuation.hot_multiplier = 10.0;
+  config.relocation.min_time_between = SecondsToTicks(5);
+
+  std::vector<JoinResult> reference = testing::ReferenceResults(config);
+
+  config.strategy = AdaptationStrategy::kRelocationOnly;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  EXPECT_GT(result.coordinator.relocations_completed, 1);
+  EXPECT_EQ(ToMultiset(AllResults(result)), ToMultiset(reference));
+}
+
+/// Repeated spills of the same partitions create many generations per
+/// partition; the cleanup's incremental merge must still be exact.
+TEST(ManyGenerationsProperty, TinyThresholdManySpillsIsExact) {
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(40);
+  config.spill.memory_threshold_bytes = 16 * kKiB;
+  config.spill.spill_fraction = 0.4;
+
+  std::vector<JoinResult> reference = testing::ReferenceResults(config);
+
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  EXPECT_GT(result.spill_events, 4);
+  EXPECT_EQ(ToMultiset(AllResults(result)), ToMultiset(reference));
+}
+
+}  // namespace
+}  // namespace dcape

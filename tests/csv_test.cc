@@ -1,0 +1,45 @@
+#include "metrics/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace dcape {
+namespace {
+
+TEST(CsvTest, HeaderAndRows) {
+  TimeSeries a("throughput");
+  a.Add(0, 0);
+  a.Add(100, 5);
+  TimeSeries b("memory");
+  b.Add(0, 10);
+  b.Add(50, 20);
+
+  std::string csv = SeriesToCsv({&a, &b});
+  EXPECT_NE(csv.find("tick,throughput,memory\n"), std::string::npos);
+  // Union of ticks: 0, 50, 100.
+  EXPECT_NE(csv.find("0,0,10\n"), std::string::npos);
+  EXPECT_NE(csv.find("50,0,20\n"), std::string::npos);
+  EXPECT_NE(csv.find("100,5,20\n"), std::string::npos);
+}
+
+TEST(CsvTest, UnnamedSeriesGetPlaceholder) {
+  TimeSeries anonymous;
+  anonymous.Add(1, 2);
+  std::string csv = SeriesToCsv({&anonymous});
+  EXPECT_NE(csv.find("tick,series\n"), std::string::npos);
+}
+
+TEST(CsvTest, WriteToFile) {
+  TimeSeries a("x");
+  a.Add(0, 1);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "dcape_csv_test.csv")
+          .string();
+  ASSERT_TRUE(WriteSeriesCsv(path, {&a}).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace dcape

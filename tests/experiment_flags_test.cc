@@ -1,0 +1,128 @@
+#include "runtime/experiment_flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dcape {
+namespace {
+
+StatusOr<ExperimentOptions> Parse(std::vector<std::string> args) {
+  return ParseExperimentFlags(args);
+}
+
+TEST(ExperimentFlagsTest, DefaultsWhenEmpty) {
+  StatusOr<ExperimentOptions> options = Parse({});
+  ASSERT_TRUE(options.ok());
+  EXPECT_EQ(options->cluster.strategy, AdaptationStrategy::kNoAdaptation);
+  EXPECT_EQ(options->cluster.num_engines, 2);
+  EXPECT_EQ(options->cluster.run_duration, MinutesToTicks(10));
+  EXPECT_TRUE(options->tables);
+  EXPECT_FALSE(options->verbose);
+}
+
+TEST(ExperimentFlagsTest, ParsesFullCommandLine) {
+  StatusOr<ExperimentOptions> options = Parse(
+      {"--strategy=active-disk", "--engines=3", "--split-hosts=3",
+       "--streams=4", "--partitions=100", "--duration-min=20",
+       "--inter-arrival-ms=5", "--join-rate=4", "--tuple-range=90000",
+       "--payload-bytes=32", "--seed=7", "--placement=0.5,0.3,0.2",
+       "--threshold-kib=1024", "--spill-fraction=0.5",
+       "--spill-policy=push-largest", "--theta=0.7", "--tau-sec=30",
+       "--relocation-model=global-rebalance", "--lambda=3",
+       "--productivity=ewma", "--ewma-alpha=0.8", "--restore",
+       "--fluctuation", "--phase-min=2", "--hot-mult=5", "--csv=/tmp/x.csv",
+       "--quiet", "--verbose"});
+  ASSERT_TRUE(options.ok());
+  const ClusterConfig& c = options->cluster;
+  EXPECT_EQ(c.strategy, AdaptationStrategy::kActiveDisk);
+  EXPECT_EQ(c.num_engines, 3);
+  EXPECT_EQ(c.num_split_hosts, 3);
+  EXPECT_EQ(c.workload.num_streams, 4);
+  EXPECT_EQ(c.workload.num_partitions, 100);
+  EXPECT_EQ(c.run_duration, MinutesToTicks(20));
+  EXPECT_EQ(c.workload.inter_arrival_ticks, 5);
+  ASSERT_EQ(c.workload.classes.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.workload.classes[0].join_rate, 4.0);
+  EXPECT_EQ(c.workload.classes[0].tuple_range, 90000);
+  EXPECT_EQ(c.workload.payload_bytes, 32);
+  EXPECT_EQ(c.seed, 7u);
+  ASSERT_EQ(c.placement_fractions.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.placement_fractions[1], 0.3);
+  EXPECT_EQ(c.spill.memory_threshold_bytes, 1024 * kKiB);
+  EXPECT_DOUBLE_EQ(c.spill.spill_fraction, 0.5);
+  EXPECT_EQ(c.spill.policy, SpillPolicy::kLargestFirst);
+  EXPECT_DOUBLE_EQ(c.relocation.theta_r, 0.7);
+  EXPECT_EQ(c.relocation.min_time_between, SecondsToTicks(30));
+  EXPECT_EQ(c.relocation.model, RelocationModel::kGlobalRebalance);
+  EXPECT_DOUBLE_EQ(c.active_disk.lambda, 3.0);
+  EXPECT_EQ(c.productivity.model, ProductivityModel::kEwma);
+  EXPECT_DOUBLE_EQ(c.productivity.ewma_alpha, 0.8);
+  EXPECT_TRUE(c.restore.enabled);
+  EXPECT_TRUE(c.workload.fluctuation.enabled);
+  EXPECT_EQ(c.workload.fluctuation.phase_ticks, MinutesToTicks(2));
+  EXPECT_DOUBLE_EQ(c.workload.fluctuation.hot_multiplier, 5.0);
+  EXPECT_EQ(options->csv_path, "/tmp/x.csv");
+  EXPECT_FALSE(options->tables);
+  EXPECT_TRUE(options->verbose);
+}
+
+TEST(ExperimentFlagsTest, RejectsUnknownFlag) {
+  StatusOr<ExperimentOptions> options = Parse({"--nope=1"});
+  ASSERT_FALSE(options.ok());
+  EXPECT_EQ(options.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExperimentFlagsTest, RejectsMalformedNumbers) {
+  EXPECT_FALSE(Parse({"--engines=two"}).ok());
+  EXPECT_FALSE(Parse({"--theta=big"}).ok());
+  EXPECT_FALSE(Parse({"--placement=0.5,x"}).ok());
+}
+
+TEST(ExperimentFlagsTest, RejectsOutOfRangeValues) {
+  EXPECT_FALSE(Parse({"--engines=0"}).ok());
+  EXPECT_FALSE(Parse({"--streams=1"}).ok());
+  EXPECT_FALSE(Parse({"--theta=1.5"}).ok());
+  EXPECT_FALSE(Parse({"--spill-fraction=0"}).ok());
+  EXPECT_FALSE(Parse({"--lambda=1"}).ok());
+  EXPECT_FALSE(Parse({"--ewma-alpha=2"}).ok());
+}
+
+TEST(ExperimentFlagsTest, RejectsBadEnumValues) {
+  EXPECT_FALSE(Parse({"--strategy=yolo"}).ok());
+  EXPECT_FALSE(Parse({"--spill-policy=whatever"}).ok());
+  EXPECT_FALSE(Parse({"--relocation-model=magic"}).ok());
+  EXPECT_FALSE(Parse({"--productivity=psychic"}).ok());
+}
+
+TEST(ExperimentFlagsTest, PlacementMustMatchEngineCount) {
+  EXPECT_FALSE(Parse({"--engines=3", "--placement=0.5,0.5"}).ok());
+  EXPECT_TRUE(Parse({"--engines=2", "--placement=0.5,0.5"}).ok());
+}
+
+TEST(ExperimentFlagsTest, HelpIsAnError) {
+  StatusOr<ExperimentOptions> options = Parse({"--help"});
+  ASSERT_FALSE(options.ok());
+  EXPECT_NE(options.status().message().find("--strategy"),
+            std::string::npos);
+}
+
+TEST(EnumParseTest, RoundTripsAllValues) {
+  for (AdaptationStrategy s :
+       {AdaptationStrategy::kNoAdaptation, AdaptationStrategy::kSpillOnly,
+        AdaptationStrategy::kRelocationOnly, AdaptationStrategy::kLazyDisk,
+        AdaptationStrategy::kActiveDisk}) {
+    EXPECT_EQ(ParseStrategy(StrategyName(s)).value(), s);
+  }
+  for (SpillPolicy p :
+       {SpillPolicy::kLeastProductiveFirst, SpillPolicy::kMostProductiveFirst,
+        SpillPolicy::kLargestFirst, SpillPolicy::kSmallestFirst,
+        SpillPolicy::kRandom}) {
+    EXPECT_EQ(ParseSpillPolicy(SpillPolicyName(p)).value(), p);
+  }
+  for (RelocationModel m :
+       {RelocationModel::kPairwise, RelocationModel::kGlobalRebalance}) {
+    EXPECT_EQ(ParseRelocationModel(RelocationModelName(m)).value(), m);
+  }
+}
+
+}  // namespace
+}  // namespace dcape

@@ -1,0 +1,110 @@
+#include "runtime/generator_node.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "stream/stream_generator.h"
+#include "stream/trace.h"
+
+namespace dcape {
+namespace {
+
+WorkloadConfig SmallWorkload() {
+  WorkloadConfig config;
+  config.num_streams = 3;
+  config.num_partitions = 8;
+  config.inter_arrival_ticks = 10;
+  config.classes = {PartitionClass{1.0, 320}};
+  config.seed = 3;
+  return config;
+}
+
+class GeneratorNodeTest : public ::testing::Test {
+ protected:
+  GeneratorNodeTest() : network_(FastConfig()) {
+    for (NodeId host : {10, 11, 12}) {
+      network_.RegisterNode(host, [this, host](Tick, const Message& m) {
+        const auto& batch = std::get<TupleBatch>(m.payload);
+        per_host_stream_[{host, batch.stream_id}] +=
+            static_cast<int64_t>(batch.tuples.size());
+      });
+    }
+  }
+  static Network::Config FastConfig() {
+    Network::Config c;
+    c.latency_ticks = 1;
+    c.bytes_per_tick = 1 << 30;
+    return c;
+  }
+
+  Network network_;
+  std::map<std::pair<NodeId, StreamId>, int64_t> per_host_stream_;
+};
+
+TEST_F(GeneratorNodeTest, RoutesStreamsToTheirHosts) {
+  GeneratorNode node(
+      /*node_id=*/0, std::make_unique<StreamGenerator>(SmallWorkload()),
+      /*split_host_of_stream=*/{10, 11, 12}, &network_,
+      /*record_trace=*/nullptr);
+  for (Tick t = 0; t <= 1000; ++t) node.OnTick(t);
+  network_.DeliverUntil(2000);
+
+  // Each host received exactly its stream, ~101 tuples each.
+  EXPECT_EQ((per_host_stream_[{10, 0}]), 101);
+  EXPECT_EQ((per_host_stream_[{11, 1}]), 101);
+  EXPECT_EQ((per_host_stream_[{12, 2}]), 101);
+  EXPECT_EQ((per_host_stream_[{10, 1}]), 0);
+  EXPECT_EQ((per_host_stream_[{11, 2}]), 0);
+  EXPECT_EQ(node.source().total_emitted(), 303);
+}
+
+TEST_F(GeneratorNodeTest, SharedHostGetsSeparateBatchesPerStream) {
+  GeneratorNode node(0, std::make_unique<StreamGenerator>(SmallWorkload()),
+                     {10, 10, 10}, &network_, nullptr);
+  node.OnTick(0);
+  network_.DeliverUntil(100);
+  EXPECT_EQ((per_host_stream_[{10, 0}]), 1);
+  EXPECT_EQ((per_host_stream_[{10, 1}]), 1);
+  EXPECT_EQ((per_host_stream_[{10, 2}]), 1);
+}
+
+TEST_F(GeneratorNodeTest, GenerateFalseSilencesTheSource) {
+  GeneratorNode node(0, std::make_unique<StreamGenerator>(SmallWorkload()),
+                     {10, 10, 10}, &network_, nullptr);
+  node.OnTick(0, /*generate=*/false);
+  network_.DeliverUntil(100);
+  EXPECT_TRUE(per_host_stream_.empty());
+  EXPECT_EQ(node.source().total_emitted(), 0);
+}
+
+TEST_F(GeneratorNodeTest, RecordsTraceOfEverythingEmitted) {
+  std::string trace;
+  {
+    GeneratorNode node(0, std::make_unique<StreamGenerator>(SmallWorkload()),
+                       {10, 10, 10}, &network_, &trace);
+    for (Tick t = 0; t <= 500; ++t) node.OnTick(t);
+    node.FinishTrace();
+  }
+  StatusOr<std::vector<TraceRecord>> records = DecodeTrace(trace);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 3u * 51u);
+  // Arrival ticks respect the inter-arrival grid.
+  for (const TraceRecord& r : *records) {
+    EXPECT_EQ(r.arrival % 10, 0);
+  }
+}
+
+TEST_F(GeneratorNodeTest, TraceFinalizedByDestructorToo) {
+  std::string trace;
+  {
+    GeneratorNode node(0, std::make_unique<StreamGenerator>(SmallWorkload()),
+                       {10, 10, 10}, &network_, &trace);
+    node.OnTick(0);
+  }
+  EXPECT_TRUE(DecodeTrace(trace).ok());
+}
+
+}  // namespace
+}  // namespace dcape

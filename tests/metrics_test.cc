@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/table_printer.h"
+#include "metrics/time_series.h"
+
+namespace dcape {
+namespace {
+
+TEST(TimeSeriesTest, ValueAtOrBefore) {
+  TimeSeries series("s");
+  series.Add(10, 1.0);
+  series.Add(20, 2.0);
+  series.Add(30, 3.0);
+  EXPECT_EQ(series.ValueAtOrBefore(5, -1.0), -1.0);
+  EXPECT_EQ(series.ValueAtOrBefore(10), 1.0);
+  EXPECT_EQ(series.ValueAtOrBefore(15), 1.0);
+  EXPECT_EQ(series.ValueAtOrBefore(25), 2.0);
+  EXPECT_EQ(series.ValueAtOrBefore(1000), 3.0);
+}
+
+TEST(TimeSeriesTest, LastAndMax) {
+  TimeSeries series;
+  EXPECT_EQ(series.Last(-7.0), -7.0);
+  EXPECT_EQ(series.Max(-7.0), -7.0);
+  series.Add(0, 5.0);
+  series.Add(10, 9.0);
+  series.Add(20, 2.0);
+  EXPECT_EQ(series.Last(), 2.0);
+  EXPECT_EQ(series.Max(), 9.0);
+}
+
+TEST(TimeSeriesTest, NameRoundTrip) {
+  TimeSeries series("memory");
+  EXPECT_EQ(series.name(), "memory");
+  series.set_name("other");
+  EXPECT_EQ(series.name(), "other");
+}
+
+TEST(TimeSeriesTest, RatePerMinuteFromCumulative) {
+  TimeSeries cumulative("results");
+  cumulative.Add(0, 0);
+  cumulative.Add(MinutesToTicks(1), 600);
+  cumulative.Add(MinutesToTicks(2), 1800);
+  TimeSeries rate = ToRatePerMinute(cumulative);
+  ASSERT_EQ(rate.size(), 2u);
+  EXPECT_DOUBLE_EQ(rate.samples()[0].second, 600.0);
+  EXPECT_DOUBLE_EQ(rate.samples()[1].second, 1200.0);
+}
+
+TEST(TimeSeriesTest, RateHandlesSubMinuteWindows) {
+  TimeSeries cumulative;
+  cumulative.Add(0, 0);
+  cumulative.Add(SecondsToTicks(30), 100);  // 100 per half minute
+  TimeSeries rate = ToRatePerMinute(cumulative);
+  ASSERT_EQ(rate.size(), 1u);
+  EXPECT_DOUBLE_EQ(rate.samples()[0].second, 200.0);
+}
+
+TEST(TablePrinterTest, AlignsAndPrintsRows) {
+  TablePrinter table({"minute", "all-mem", "30%"});
+  table.AddRow({"0", "0", "0"});
+  table.AddRow({"10", "123456", "9"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("minute"), std::string::npos);
+  EXPECT_NE(out.find("123456"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Header line then separator then two rows.
+  int newlines = 0;
+  for (char c : out) newlines += (c == '\n');
+  EXPECT_EQ(newlines, 4);
+}
+
+TEST(FormatDoubleTest, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(PrintSeriesByMinuteTest, ProducesOneRowPerStep) {
+  TimeSeries a("a");
+  TimeSeries b("b");
+  for (int minute = 0; minute <= 10; ++minute) {
+    a.Add(MinutesToTicks(minute), minute);
+    b.Add(MinutesToTicks(minute), 10 * minute);
+  }
+  std::ostringstream os;
+  PrintSeriesByMinute(os, "minute", {&a, &b}, 0, 10, 5);
+  std::string out = os.str();
+  // Rows for minutes 0, 5, 10 plus header + separator.
+  int newlines = 0;
+  for (char c : out) newlines += (c == '\n');
+  EXPECT_EQ(newlines, 5);
+  EXPECT_NE(out.find("100"), std::string::npos);  // b at minute 10
+}
+
+}  // namespace
+}  // namespace dcape

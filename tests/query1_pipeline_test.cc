@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "operators/aggregate.h"
+#include "runtime/cluster.h"
+#include "tests/test_util.h"
+
+namespace dcape {
+namespace {
+
+using testing::SmallClusterConfig;
+
+/// Integration tests for the full QUERY 1 pipeline: WHERE selection →
+/// split → partitioned m-way join (+ projection) → union → GROUP BY
+/// aggregate — including exactness of the final aggregate when the run
+/// spilled and the cleanup phase delivered results late.
+
+ClusterConfig Query1Config() {
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(40);
+  config.workload.num_categories = 8;
+  config.workload.value_min = 100;
+  config.workload.value_max = 999;
+
+  SelectPredicate band;
+  band.max_value = 800;
+  config.select_per_stream = {band, band, band};
+  config.project_payload_to = 8;
+
+  ResultProjection projection;
+  projection.group_stream = 0;
+  projection.op = AggregateOp::kMin;
+  config.projection = projection;
+  config.aggregate_op = AggregateOp::kMin;
+  return config;
+}
+
+TEST(Query1PipelineTest, SelectionFiltersBeforeTheJoin) {
+  ClusterConfig config = Query1Config();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  const SelectOp* select = cluster.split_host().select(0);
+  ASSERT_NE(select, nullptr);
+  EXPECT_GT(select->seen(), 0);
+  // value uniform in [100, 999]; WHERE value <= 800 keeps ~78%.
+  EXPECT_NEAR(select->selectivity(), 0.78, 0.05);
+  // Fewer tuples reach the engines than were generated.
+  int64_t processed = 0;
+  for (const auto& c : result.engines) processed += c.tuples_processed;
+  EXPECT_LT(processed, result.tuples_generated);
+  EXPECT_GT(processed, 0);
+}
+
+TEST(Query1PipelineTest, ProjectionShrinksState) {
+  ClusterConfig config = Query1Config();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+
+  ClusterConfig wide = config;
+  wide.project_payload_to.reset();
+
+  Cluster narrow_cluster(config);
+  RunResult narrow = narrow_cluster.Run();
+  Cluster wide_cluster(wide);
+  RunResult wide_result = wide_cluster.Run();
+
+  EXPECT_GT(narrow_cluster.split_host().project()->bytes_saved(), 0);
+  EXPECT_LT(narrow.engine_memory[0].Last() + narrow.engine_memory[1].Last(),
+            wide_result.engine_memory[0].Last() +
+                wide_result.engine_memory[1].Last());
+  // Same results either way — projection only strips payload bytes.
+  EXPECT_EQ(narrow.runtime_results, wide_result.runtime_results);
+}
+
+TEST(Query1PipelineTest, ResultsCarryProjectedFields) {
+  ClusterConfig config = Query1Config();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  ASSERT_FALSE(result.collected.empty());
+  for (const JoinResult& r : result.collected) {
+    EXPECT_GE(r.group_key, 0);
+    EXPECT_LT(r.group_key, 8);
+    EXPECT_GE(r.agg_value, 100);
+    EXPECT_LE(r.agg_value, 800);  // min over selected members
+  }
+}
+
+TEST(Query1PipelineTest, AggregateExactUnderSpillAndCleanup) {
+  ClusterConfig config = Query1Config();
+
+  // Reference: all-memory aggregate.
+  ClusterConfig reference_config = config;
+  reference_config.strategy = AdaptationStrategy::kNoAdaptation;
+  Cluster reference_cluster(reference_config);
+  RunResult reference = reference_cluster.Run();
+  GroupByAggregate* reference_agg = reference_cluster.aggregate();
+  ASSERT_NE(reference_agg, nullptr);
+  ASSERT_EQ(reference.cleanup.result_count, 0);
+
+  // Constrained: lazy-disk with spills; cleanup folds in afterwards.
+  config.strategy = AdaptationStrategy::kLazyDisk;
+  config.placement_fractions = {0.7, 0.3};
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  ASSERT_GT(result.spill_events, 0);
+  ASSERT_GT(result.cleanup.result_count, 0);
+
+  GroupByAggregate* agg = cluster.aggregate();
+  agg->ConsumeAll(result.cleanup.results);
+
+  ASSERT_EQ(agg->groups().size(), reference_agg->groups().size());
+  for (const auto& [group, state] : reference_agg->groups()) {
+    auto it = agg->groups().find(group);
+    ASSERT_NE(it, agg->groups().end()) << "missing group " << group;
+    EXPECT_EQ(it->second.aggregate, state.aggregate)
+        << "min(price) differs for group " << group;
+    EXPECT_EQ(it->second.count, state.count)
+        << "match count differs for group " << group;
+  }
+}
+
+TEST(Query1PipelineTest, CleanupResultsCarryProjectionToo) {
+  ClusterConfig config = Query1Config();
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  ASSERT_GT(result.cleanup.result_count, 0);
+  for (const JoinResult& r : result.cleanup.results) {
+    EXPECT_GE(r.group_key, 0);
+    EXPECT_LT(r.group_key, 8);
+    EXPECT_GE(r.agg_value, 100);
+    EXPECT_LE(r.agg_value, 800);
+  }
+}
+
+}  // namespace
+}  // namespace dcape

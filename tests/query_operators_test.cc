@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "operators/aggregate.h"
+#include "operators/select.h"
+#include "state/partition_group.h"
+#include "tuple/projection.h"
+
+namespace dcape {
+namespace {
+
+Tuple MakeTuple(StreamId stream, int64_t seq, JoinKey key, int64_t value,
+                int64_t category) {
+  Tuple t;
+  t.stream_id = stream;
+  t.seq = seq;
+  t.join_key = key;
+  t.value = value;
+  t.category = category;
+  t.payload = "0123456789abcdef";
+  return t;
+}
+
+TEST(SelectPredicateTest, ValueBand) {
+  SelectPredicate p;
+  p.min_value = 10;
+  p.max_value = 20;
+  EXPECT_FALSE(p.Matches(MakeTuple(0, 1, 0, 9, 0)));
+  EXPECT_TRUE(p.Matches(MakeTuple(0, 1, 0, 10, 0)));
+  EXPECT_TRUE(p.Matches(MakeTuple(0, 1, 0, 20, 0)));
+  EXPECT_FALSE(p.Matches(MakeTuple(0, 1, 0, 21, 0)));
+}
+
+TEST(SelectPredicateTest, CategoryEquality) {
+  SelectPredicate p;
+  p.category_equals = 7;
+  EXPECT_TRUE(p.Matches(MakeTuple(0, 1, 0, 0, 7)));
+  EXPECT_FALSE(p.Matches(MakeTuple(0, 1, 0, 0, 8)));
+}
+
+TEST(SelectPredicateTest, DefaultPassesEverything) {
+  SelectPredicate p;
+  EXPECT_TRUE(p.Matches(MakeTuple(0, 1, 0, INT64_MIN, -5)));
+}
+
+TEST(SelectOpTest, CountsSelectivity) {
+  SelectPredicate p;
+  p.min_value = 50;
+  SelectOp op(p);
+  for (int v = 0; v < 100; ++v) {
+    op.Process(MakeTuple(0, v, 0, v, 0));
+  }
+  EXPECT_EQ(op.seen(), 100);
+  EXPECT_EQ(op.passed(), 50);
+  EXPECT_DOUBLE_EQ(op.selectivity(), 0.5);
+}
+
+TEST(ProjectOpTest, TruncatesPayloadAndCountsSavings) {
+  ProjectOp op(4);
+  Tuple t = MakeTuple(0, 1, 0, 0, 0);  // payload 16 bytes
+  EXPECT_EQ(op.Process(&t), 12);
+  EXPECT_EQ(t.payload, "0123");
+  // Already short payloads are untouched.
+  EXPECT_EQ(op.Process(&t), 0);
+  EXPECT_EQ(op.bytes_saved(), 12);
+}
+
+TEST(FoldAggregateTest, AllOps) {
+  EXPECT_EQ(FoldAggregate(AggregateOp::kMin, 5, 3, false), 3);
+  EXPECT_EQ(FoldAggregate(AggregateOp::kMin, 3, 5, false), 3);
+  EXPECT_EQ(FoldAggregate(AggregateOp::kMax, 3, 5, false), 5);
+  EXPECT_EQ(FoldAggregate(AggregateOp::kSum, 3, 5, false), 8);
+  // `first` always resets to the value.
+  EXPECT_EQ(FoldAggregate(AggregateOp::kMin, 999, 5, true), 5);
+}
+
+TEST(ProjectionTest, ProbeComputesGroupKeyAndMinValue) {
+  ResultProjection projection;
+  projection.group_stream = 1;
+  projection.op = AggregateOp::kMin;
+
+  PartitionGroup group(0, 3);
+  group.ProbeAndInsert(MakeTuple(0, 1, 5, /*value=*/300, /*cat=*/1), nullptr,
+                       &projection);
+  group.ProbeAndInsert(MakeTuple(1, 2, 5, /*value=*/200, /*cat=*/42), nullptr,
+                       &projection);
+  std::vector<JoinResult> results;
+  group.ProbeAndInsert(MakeTuple(2, 3, 5, /*value=*/250, /*cat=*/9), &results,
+                       &projection);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].group_key, 42);   // category of the stream-1 member
+  EXPECT_EQ(results[0].agg_value, 200);  // min(300, 200, 250)
+}
+
+TEST(ProjectionTest, SumAcrossMembers) {
+  ResultProjection projection;
+  projection.group_stream = 0;
+  projection.op = AggregateOp::kSum;
+
+  PartitionGroup group(0, 2);
+  group.ProbeAndInsert(MakeTuple(0, 1, 5, 10, 3), nullptr, &projection);
+  std::vector<JoinResult> results;
+  group.ProbeAndInsert(MakeTuple(1, 2, 5, 32, 8), &results, &projection);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].group_key, 3);
+  EXPECT_EQ(results[0].agg_value, 42);
+}
+
+JoinResult MakeResult(int64_t group, int64_t value) {
+  JoinResult r;
+  r.group_key = group;
+  r.agg_value = value;
+  return r;
+}
+
+TEST(GroupByAggregateTest, MinPerGroup) {
+  GroupByAggregate agg(AggregateOp::kMin);
+  agg.Consume(MakeResult(1, 50));
+  agg.Consume(MakeResult(1, 30));
+  agg.Consume(MakeResult(1, 70));
+  agg.Consume(MakeResult(2, 10));
+  ASSERT_EQ(agg.groups().size(), 2u);
+  EXPECT_EQ(agg.groups().at(1).aggregate, 30);
+  EXPECT_EQ(agg.groups().at(1).count, 3);
+  EXPECT_EQ(agg.groups().at(2).aggregate, 10);
+  EXPECT_EQ(agg.total(), 4);
+}
+
+TEST(GroupByAggregateTest, OrderInsensitive) {
+  GroupByAggregate forward(AggregateOp::kMin);
+  GroupByAggregate backward(AggregateOp::kMin);
+  std::vector<JoinResult> results = {MakeResult(0, 5), MakeResult(0, 2),
+                                     MakeResult(1, 9), MakeResult(0, 7)};
+  forward.ConsumeAll(results);
+  std::reverse(results.begin(), results.end());
+  backward.ConsumeAll(results);
+  EXPECT_EQ(forward.groups().at(0).aggregate,
+            backward.groups().at(0).aggregate);
+  EXPECT_EQ(forward.groups().at(1).aggregate,
+            backward.groups().at(1).aggregate);
+}
+
+TEST(GroupByAggregateTest, TopByAggregateSmallestFirst) {
+  GroupByAggregate agg(AggregateOp::kMin);
+  agg.Consume(MakeResult(1, 50));
+  agg.Consume(MakeResult(2, 10));
+  agg.Consume(MakeResult(3, 30));
+  auto top = agg.TopByAggregate(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 2);
+  EXPECT_EQ(top[1].first, 3);
+  auto bottom = agg.TopByAggregate(1, /*smallest_first=*/false);
+  ASSERT_EQ(bottom.size(), 1u);
+  EXPECT_EQ(bottom[0].first, 1);
+}
+
+}  // namespace
+}  // namespace dcape

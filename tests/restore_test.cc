@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.h"
+#include "tests/test_util.h"
+
+namespace dcape {
+namespace {
+
+using testing::AllResults;
+using testing::SmallClusterConfig;
+using testing::ToMultiset;
+
+/// Online state restore (RestoreConfig): disk generations merge back into
+/// memory when room opens up, producing their deferred results during the
+/// run-time phase instead of during cleanup.
+
+ClusterConfig RestoreConfig_() {
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = MinutesToTicks(2);
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  config.spill.memory_threshold_bytes = 64 * kKiB;
+  config.restore.enabled = true;
+  config.restore.low_watermark = 0.9;
+  config.restore.check_period = SecondsToTicks(2);
+  return config;
+}
+
+TEST(RestoreTest, RemainsExactWithRestoreEnabled) {
+  ClusterConfig config = RestoreConfig_();
+  std::vector<JoinResult> reference = testing::ReferenceResults(config);
+
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  ASSERT_GT(result.spill_events, 0);
+
+  auto all = ToMultiset(AllResults(result));
+  for (const auto& [key, count] : all) {
+    ASSERT_EQ(count, 1) << "duplicate result " << key;
+  }
+  EXPECT_EQ(all, ToMultiset(reference));
+}
+
+TEST(RestoreTest, RestoreShiftsResultsFromCleanupToRuntime) {
+  ClusterConfig with = RestoreConfig_();
+  ClusterConfig without = with;
+  without.restore.enabled = false;
+
+  RunResult with_restore = Cluster(with).Run();
+  RunResult without_restore = Cluster(without).Run();
+
+  int64_t restored_segments = 0;
+  for (const auto& c : with_restore.engines) {
+    restored_segments += c.restored_segments;
+  }
+  ASSERT_GT(restored_segments, 0) << "test config must actually restore";
+
+  // Same total output either way...
+  EXPECT_EQ(with_restore.TotalResults(), without_restore.TotalResults());
+  // ...but restore delivers more during the run-time phase and leaves
+  // less to the cleanup.
+  EXPECT_GT(with_restore.runtime_results, without_restore.runtime_results);
+  EXPECT_LT(with_restore.cleanup.result_count,
+            without_restore.cleanup.result_count);
+}
+
+TEST(RestoreTest, RestoreRespectsThresholdHeadroom) {
+  ClusterConfig config = RestoreConfig_();
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  // Even with aggressive restore, tracked memory stays within the spill
+  // band (threshold + one ss_timer window of input).
+  for (const TimeSeries& series : result.engine_memory) {
+    EXPECT_LT(series.Max(), 64.0 * kKiB + 32.0 * kKiB) << series.name();
+  }
+}
+
+TEST(RestoreTest, WorksTogetherWithLazyDisk) {
+  ClusterConfig config = RestoreConfig_();
+  config.strategy = AdaptationStrategy::kLazyDisk;
+  config.placement_fractions = {0.7, 0.3};
+  std::vector<JoinResult> reference = testing::ReferenceResults(config);
+
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  EXPECT_EQ(ToMultiset(AllResults(result)), ToMultiset(reference));
+}
+
+}  // namespace
+}  // namespace dcape

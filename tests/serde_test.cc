@@ -1,0 +1,114 @@
+#include "tuple/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "tuple/tuple.h"
+
+namespace dcape {
+namespace {
+
+TEST(ByteWriterReaderTest, PrimitiveRoundTrip) {
+  std::string buf;
+  ByteWriter writer(&buf);
+  writer.PutU32(0xDEADBEEF);
+  writer.PutU64(0x0123456789ABCDEFULL);
+  writer.PutI32(-7);
+  writer.PutI64(-123456789012345LL);
+  writer.PutString("hello");
+  writer.PutString("");
+
+  ByteReader reader(buf);
+  EXPECT_EQ(reader.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(reader.GetI32().value(), -7);
+  EXPECT_EQ(reader.GetI64().value(), -123456789012345LL);
+  EXPECT_EQ(reader.GetString().value(), "hello");
+  EXPECT_EQ(reader.GetString().value(), "");
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(ByteWriterReaderTest, TruncatedPrimitiveIsOutOfRange) {
+  std::string buf;
+  ByteWriter writer(&buf);
+  writer.PutU32(1);
+  ByteReader reader(buf.substr(0, 2));
+  EXPECT_EQ(reader.GetU32().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ByteWriterReaderTest, TruncatedStringBodyIsOutOfRange) {
+  std::string buf;
+  ByteWriter writer(&buf);
+  writer.PutString("abcdef");
+  ByteReader reader(buf.substr(0, 6));  // length prefix + 2 bytes
+  EXPECT_EQ(reader.GetString().status().code(), StatusCode::kOutOfRange);
+}
+
+Tuple MakeTuple(StreamId stream, int64_t seq, JoinKey key) {
+  Tuple t;
+  t.stream_id = stream;
+  t.seq = seq;
+  t.join_key = key;
+  t.timestamp = 17 * seq;
+  t.payload = "payload_" + std::to_string(seq);
+  return t;
+}
+
+TEST(TupleSerdeTest, TupleRoundTrip) {
+  Tuple original = MakeTuple(2, 99, 1 << 21);
+  std::string buf;
+  EncodeTuple(original, &buf);
+  ByteReader reader(buf);
+  StatusOr<Tuple> decoded = DecodeTuple(&reader);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, original);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(TupleSerdeTest, SerializedSizeMatchesByteSize) {
+  Tuple t = MakeTuple(0, 5, 7);
+  std::string buf;
+  EncodeTuple(t, &buf);
+  EXPECT_EQ(static_cast<int64_t>(buf.size()), t.ByteSize());
+}
+
+TEST(TupleSerdeTest, BatchRoundTrip) {
+  TupleBatch batch;
+  batch.stream_id = 1;
+  for (int i = 0; i < 10; ++i) {
+    batch.tuples.push_back(MakeTuple(1, i, i * 3));
+  }
+  std::string buf;
+  EncodeTupleBatch(batch, &buf);
+  StatusOr<TupleBatch> decoded = DecodeTupleBatch(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->stream_id, 1);
+  ASSERT_EQ(decoded->tuples.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(decoded->tuples[static_cast<size_t>(i)],
+              batch.tuples[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(TupleSerdeTest, BatchWithTrailingBytesRejected) {
+  TupleBatch batch;
+  batch.stream_id = 0;
+  batch.tuples.push_back(MakeTuple(0, 1, 2));
+  std::string buf;
+  EncodeTupleBatch(batch, &buf);
+  buf += "junk";
+  EXPECT_EQ(DecodeTupleBatch(buf).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TupleSerdeTest, EmptyBatchRoundTrip) {
+  TupleBatch batch;
+  batch.stream_id = 2;
+  std::string buf;
+  EncodeTupleBatch(batch, &buf);
+  StatusOr<TupleBatch> decoded = DecodeTupleBatch(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->tuples.empty());
+}
+
+}  // namespace
+}  // namespace dcape

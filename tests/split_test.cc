@@ -1,0 +1,76 @@
+#include "operators/split.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/stream_generator.h"
+
+namespace dcape {
+namespace {
+
+Tuple TupleForPartition(StreamId stream, int64_t seq, PartitionId partition) {
+  Tuple t;
+  t.stream_id = stream;
+  t.seq = seq;
+  t.join_key = static_cast<JoinKey>(partition) * StreamGenerator::kKeyStride;
+  return t;
+}
+
+TEST(SplitTest, RoutesByPartitionTable) {
+  Split split(0, {0, 0, 1, 1});
+  EXPECT_EQ(split.Route(TupleForPartition(0, 1, 0)).value(), 0);
+  EXPECT_EQ(split.Route(TupleForPartition(0, 2, 2)).value(), 1);
+  EXPECT_EQ(split.OwnerOf(3), 1);
+}
+
+TEST(SplitTest, PauseBuffersAffectedPartitionsOnly) {
+  Split split(0, {0, 0, 1, 1});
+  split.Pause({2});
+  EXPECT_TRUE(split.IsPaused(2));
+  EXPECT_FALSE(split.IsPaused(1));
+  EXPECT_FALSE(split.Route(TupleForPartition(0, 1, 2)).has_value());
+  EXPECT_TRUE(split.Route(TupleForPartition(0, 2, 1)).has_value());
+  EXPECT_EQ(split.buffered_count(), 1);
+}
+
+TEST(SplitTest, ReleaseReturnsBufferedInArrivalOrderAndReroutes) {
+  Split split(0, {0, 0, 1, 1});
+  split.Pause({2, 3});
+  split.Route(TupleForPartition(0, 1, 2));
+  split.Route(TupleForPartition(0, 2, 3));
+  split.Route(TupleForPartition(0, 3, 2));
+  EXPECT_EQ(split.buffered_count(), 3);
+
+  std::vector<Tuple> released = split.UpdateRoutingAndRelease({2, 3}, 0);
+  ASSERT_EQ(released.size(), 3u);
+  EXPECT_EQ(released[0].seq, 1);
+  EXPECT_EQ(released[1].seq, 2);
+  EXPECT_EQ(released[2].seq, 3);
+  EXPECT_EQ(split.buffered_count(), 0);
+  EXPECT_FALSE(split.IsPaused(2));
+  EXPECT_EQ(split.OwnerOf(2), 0);
+  EXPECT_EQ(split.OwnerOf(3), 0);
+  EXPECT_EQ(split.Route(TupleForPartition(0, 4, 2)).value(), 0);
+}
+
+TEST(SplitTest, PartialReleaseKeepsOtherBuffers) {
+  Split split(0, {0, 1, 1});
+  split.Pause({1, 2});
+  split.Route(TupleForPartition(0, 1, 1));
+  split.Route(TupleForPartition(0, 2, 2));
+  std::vector<Tuple> released = split.UpdateRoutingAndRelease({1}, 0);
+  ASSERT_EQ(released.size(), 1u);
+  EXPECT_EQ(released[0].seq, 1);
+  EXPECT_EQ(split.buffered_count(), 1);
+  EXPECT_TRUE(split.IsPaused(2));
+}
+
+TEST(SplitTest, PauseIsIdempotent) {
+  Split split(0, {0, 1});
+  split.Pause({1});
+  split.Pause({1});
+  split.Route(TupleForPartition(0, 1, 1));
+  EXPECT_EQ(split.UpdateRoutingAndRelease({1}, 0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dcape

@@ -1,0 +1,130 @@
+#include "stream/stream_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dcape {
+namespace {
+
+WorkloadConfig BaseConfig() {
+  WorkloadConfig config;
+  config.num_streams = 3;
+  config.num_partitions = 8;
+  config.inter_arrival_ticks = 10;
+  config.payload_bytes = 16;
+  config.classes = {PartitionClass{1.0, 320}};  // 40 keys per partition
+  config.seed = 99;
+  return config;
+}
+
+TEST(StreamGeneratorTest, EmitsOnePerStreamAtInterArrival) {
+  StreamGenerator gen(BaseConfig());
+  EXPECT_EQ(gen.EmitForTick(0).size(), 3u);
+  EXPECT_TRUE(gen.EmitForTick(1).empty());
+  EXPECT_TRUE(gen.EmitForTick(9).empty());
+  EXPECT_EQ(gen.EmitForTick(10).size(), 3u);
+  EXPECT_EQ(gen.total_emitted(), 6);
+}
+
+TEST(StreamGeneratorTest, SequencesAreMonotonicPerStream) {
+  StreamGenerator gen(BaseConfig());
+  std::map<StreamId, int64_t> last;
+  for (Tick t = 0; t <= 500; t += 10) {
+    for (const Tuple& tuple : gen.EmitForTick(t)) {
+      if (last.count(tuple.stream_id)) {
+        EXPECT_EQ(tuple.seq, last[tuple.stream_id] + 1);
+      } else {
+        EXPECT_EQ(tuple.seq, 0);
+      }
+      last[tuple.stream_id] = tuple.seq;
+      EXPECT_EQ(tuple.timestamp, t);
+    }
+  }
+}
+
+TEST(StreamGeneratorTest, KeysStayInPartitionDomains) {
+  WorkloadConfig config = BaseConfig();
+  StreamGenerator gen(config);
+  for (Tick t = 0; t <= 5000; t += 10) {
+    for (const Tuple& tuple : gen.EmitForTick(t)) {
+      const PartitionId p = StreamGenerator::PartitionOfKey(tuple.join_key);
+      EXPECT_GE(p, 0);
+      EXPECT_LT(p, config.num_partitions);
+      const int64_t index =
+          tuple.join_key - static_cast<JoinKey>(p) * StreamGenerator::kKeyStride;
+      EXPECT_GE(index, 0);
+      EXPECT_LT(index, KeysPerPartition(config, p));
+    }
+  }
+}
+
+TEST(StreamGeneratorTest, DeterministicForEqualSeeds) {
+  StreamGenerator a(BaseConfig());
+  StreamGenerator b(BaseConfig());
+  for (Tick t = 0; t <= 1000; t += 10) {
+    auto ta = a.EmitForTick(t);
+    auto tb = b.EmitForTick(t);
+    ASSERT_EQ(ta.size(), tb.size());
+    for (size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+  }
+}
+
+TEST(StreamGeneratorTest, UniformPartitionsWithoutFluctuation) {
+  WorkloadConfig config = BaseConfig();
+  StreamGenerator gen(config);
+  std::map<PartitionId, int> counts;
+  for (Tick t = 0; t <= 80000; t += 10) {
+    for (const Tuple& tuple : gen.EmitForTick(t)) {
+      counts[StreamGenerator::PartitionOfKey(tuple.join_key)] += 1;
+    }
+  }
+  // 8 partitions, ~24003 tuples → ~3000 each; allow generous slack.
+  for (const auto& [partition, count] : counts) {
+    EXPECT_NEAR(count, 3000, 450) << "partition " << partition;
+  }
+}
+
+TEST(StreamGeneratorTest, FluctuationSkewsTowardsHotSet) {
+  WorkloadConfig config = BaseConfig();
+  config.fluctuation.enabled = true;
+  config.fluctuation.phase_ticks = MinutesToTicks(5);
+  config.fluctuation.hot_multiplier = 10.0;
+  config.fluctuation.set_a = {0, 1, 2, 3};
+  StreamGenerator gen(config);
+
+  int64_t in_a_phase0 = 0;
+  int64_t total_phase0 = 0;
+  // Phase 0: set A hot.
+  for (Tick t = 0; t < MinutesToTicks(5); t += 10) {
+    for (const Tuple& tuple : gen.EmitForTick(t)) {
+      ++total_phase0;
+      if (StreamGenerator::PartitionOfKey(tuple.join_key) < 4) ++in_a_phase0;
+    }
+  }
+  // Expected share: 10*4 / (10*4 + 4) = 10/11 ≈ 0.909.
+  EXPECT_NEAR(static_cast<double>(in_a_phase0) / total_phase0, 0.909, 0.03);
+
+  int64_t in_a_phase1 = 0;
+  int64_t total_phase1 = 0;
+  for (Tick t = MinutesToTicks(5); t < MinutesToTicks(10); t += 10) {
+    for (const Tuple& tuple : gen.EmitForTick(t)) {
+      ++total_phase1;
+      if (StreamGenerator::PartitionOfKey(tuple.join_key) < 4) ++in_a_phase1;
+    }
+  }
+  // Phase 1: set B hot; A share ≈ 4 / (4 + 40) ≈ 0.091.
+  EXPECT_NEAR(static_cast<double>(in_a_phase1) / total_phase1, 0.091, 0.03);
+}
+
+TEST(StreamGeneratorTest, PayloadSizeHonored) {
+  WorkloadConfig config = BaseConfig();
+  config.payload_bytes = 64;
+  StreamGenerator gen(config);
+  for (const Tuple& t : gen.EmitForTick(0)) {
+    EXPECT_EQ(t.payload.size(), 64u);
+  }
+}
+
+}  // namespace
+}  // namespace dcape

@@ -1,0 +1,79 @@
+#ifndef DCAPE_TESTS_TEST_UTIL_H_
+#define DCAPE_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.h"
+#include "runtime/cluster_config.h"
+#include "tuple/tuple.h"
+
+namespace dcape {
+namespace testing {
+
+/// A small, fast workload: 3-way join, 12 partitions, ~40 distinct keys
+/// per partition, a couple of thousand tuples per stream in a 1-minute
+/// virtual run. Small enough to collect and compare full result sets.
+inline ClusterConfig SmallClusterConfig() {
+  ClusterConfig config;
+  config.num_engines = 2;
+  config.workload.num_streams = 3;
+  config.workload.num_partitions = 12;
+  config.workload.inter_arrival_ticks = 10;
+  config.workload.payload_bytes = 40;
+  config.workload.classes = {PartitionClass{/*join_rate=*/1.0,
+                                            /*tuple_range=*/5760}};
+  // keys per partition = 5760 / (1.0 * 12) = 480 … too sparse for a short
+  // run; shrink so each key sees a handful of matches:
+  config.workload.classes[0].tuple_range = 480;  // -> 40 keys/partition
+  config.workload.seed = 7;
+  config.run_duration = MinutesToTicks(1);
+  config.sample_period = SecondsToTicks(5);
+  config.stats_period = SecondsToTicks(2);
+  config.collect_results = true;
+  config.run_cleanup = true;
+  config.spill.memory_threshold_bytes = 96 * kKiB;
+  config.spill.ss_timer_period = SecondsToTicks(1);
+  config.relocation.sr_timer_period = SecondsToTicks(2);
+  config.relocation.min_time_between = SecondsToTicks(5);
+  config.relocation.min_relocate_bytes = 4 * kKiB;
+  config.active_disk.lb_timer_period = SecondsToTicks(3);
+  config.active_disk.max_forced_spill_bytes = 512 * kKiB;
+  config.cleanup.collect_results = true;
+  return config;
+}
+
+/// Encodes each result once; duplicates surface as count > 1.
+inline std::map<std::string, int> ToMultiset(
+    const std::vector<JoinResult>& results) {
+  std::map<std::string, int> multiset;
+  for (const JoinResult& r : results) multiset[r.EncodeKey()] += 1;
+  return multiset;
+}
+
+/// All results of a finished run: runtime (sink-collected) + cleanup.
+inline std::vector<JoinResult> AllResults(const RunResult& result) {
+  std::vector<JoinResult> all = result.collected;
+  all.insert(all.end(), result.cleanup.results.begin(),
+             result.cleanup.results.end());
+  return all;
+}
+
+/// Runs the reference configuration: identical workload, everything in
+/// memory (no adaptation), collecting all results. Because workloads are
+/// seed-deterministic, any strategy run over the same config must produce
+/// exactly this result set (runtime ∪ cleanup).
+inline std::vector<JoinResult> ReferenceResults(ClusterConfig config) {
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  config.collect_results = true;
+  config.run_cleanup = true;  // must find nothing; callers may assert
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+  return AllResults(result);
+}
+
+}  // namespace testing
+}  // namespace dcape
+
+#endif  // DCAPE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,132 @@
+#include "stream/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "runtime/cluster.h"
+#include "stream/stream_generator.h"
+#include "tests/test_util.h"
+
+namespace dcape {
+namespace {
+
+using testing::AllResults;
+using testing::SmallClusterConfig;
+using testing::ToMultiset;
+
+Tuple MakeTuple(StreamId stream, int64_t seq, JoinKey key) {
+  Tuple t;
+  t.stream_id = stream;
+  t.seq = seq;
+  t.join_key = key;
+  t.value = seq * 10;
+  t.category = seq % 3;
+  t.payload = "payload";
+  return t;
+}
+
+TEST(TraceTest, WriteDecodeRoundTrip) {
+  std::string data;
+  TraceWriter writer(3, &data);
+  writer.Append(10, MakeTuple(0, 1, 100));
+  writer.Append(10, MakeTuple(1, 1, 100));
+  writer.Append(25, MakeTuple(2, 1, 200));
+  writer.Finish();
+  EXPECT_EQ(writer.count(), 3);
+
+  int num_streams = 0;
+  StatusOr<std::vector<TraceRecord>> records = DecodeTrace(data, &num_streams);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(num_streams, 3);
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].arrival, 10);
+  EXPECT_EQ((*records)[2].arrival, 25);
+  EXPECT_EQ((*records)[0].tuple, MakeTuple(0, 1, 100));
+}
+
+TEST(TraceTest, DecodeRejectsGarbageAndTruncation) {
+  EXPECT_FALSE(DecodeTrace("not a trace").ok());
+  std::string data;
+  TraceWriter writer(2, &data);
+  writer.Append(1, MakeTuple(0, 1, 5));
+  writer.Finish();
+  EXPECT_FALSE(DecodeTrace(data.substr(0, data.size() - 3)).ok());
+  EXPECT_FALSE(DecodeTrace(data + "junk").ok());
+}
+
+TEST(TraceTest, SourceReplaysAtRecordedTicks) {
+  std::string data;
+  TraceWriter writer(2, &data);
+  writer.Append(5, MakeTuple(0, 1, 100));
+  writer.Append(5, MakeTuple(1, 2, 100));
+  writer.Append(9, MakeTuple(0, 3, 200));
+  writer.Finish();
+
+  StatusOr<TraceSource> source = TraceSource::FromBytes(data);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ(source->num_streams(), 2);
+  EXPECT_TRUE(source->EmitForTick(4).empty());
+  EXPECT_EQ(source->EmitForTick(5).size(), 2u);
+  EXPECT_TRUE(source->EmitForTick(6).empty());
+  EXPECT_EQ(source->EmitForTick(9).size(), 1u);
+  EXPECT_EQ(source->total_emitted(), 3);
+  EXPECT_EQ(source->remaining(), 0);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  std::string data;
+  TraceWriter writer(2, &data);
+  writer.Append(1, MakeTuple(0, 1, 5));
+  writer.Finish();
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "dcape_trace_test.trace")
+                         .string();
+  ASSERT_TRUE(WriteTraceFile(path, data).ok());
+  StatusOr<std::string> read = ReadTraceFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  std::filesystem::remove(path);
+  EXPECT_EQ(ReadTraceFile(path).status().code(), StatusCode::kNotFound);
+}
+
+TEST(TraceTest, GeneratorRecordingMatchesDirectEmission) {
+  // Recording a cluster run captures exactly what the generator emitted.
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(10);
+  config.record_trace = std::make_shared<std::string>();
+  Cluster cluster(config);
+  RunResult result = cluster.Run();
+
+  StatusOr<std::vector<TraceRecord>> records =
+      DecodeTrace(*config.record_trace);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(static_cast<int64_t>(records->size()), result.tuples_generated);
+}
+
+TEST(TraceTest, ReplayReproducesTheRunExactly) {
+  // Record once, then replay through a different adaptation strategy:
+  // the result multiset must be identical to the recorded run's.
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(40);
+  config.record_trace = std::make_shared<std::string>();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  Cluster recording_cluster(config);
+  RunResult recorded = recording_cluster.Run();
+
+  ClusterConfig replay = config;
+  replay.record_trace = nullptr;
+  replay.replay_trace = config.record_trace;
+  replay.strategy = AdaptationStrategy::kSpillOnly;
+  Cluster replay_cluster(replay);
+  RunResult replayed = replay_cluster.Run();
+
+  EXPECT_GT(replayed.spill_events, 0);
+  EXPECT_EQ(replayed.tuples_generated, recorded.tuples_generated);
+  EXPECT_EQ(ToMultiset(AllResults(replayed)),
+            ToMultiset(AllResults(recorded)));
+}
+
+}  // namespace
+}  // namespace dcape

@@ -1,0 +1,109 @@
+#include "core/victim_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dcape {
+namespace {
+
+GroupStats MakeStats(PartitionId p, int64_t bytes, int64_t outputs) {
+  GroupStats stats;
+  stats.partition = p;
+  stats.bytes = bytes;
+  stats.outputs = outputs;
+  stats.productivity =
+      bytes > 0 ? static_cast<double>(outputs) / static_cast<double>(bytes)
+                : 0.0;
+  return stats;
+}
+
+std::vector<GroupStats> SampleGroups() {
+  // productivity: p0=0.1, p1=2.0, p2=0.5, p3=0.01
+  return {MakeStats(0, 100, 10), MakeStats(1, 100, 200),
+          MakeStats(2, 100, 50), MakeStats(3, 100, 1)};
+}
+
+TEST(SelectSpillVictimsTest, LeastProductiveFirst) {
+  std::vector<PartitionId> victims = SelectSpillVictims(
+      SampleGroups(), SpillPolicy::kLeastProductiveFirst, 150, nullptr);
+  EXPECT_EQ(victims, (std::vector<PartitionId>{3, 0}));
+}
+
+TEST(SelectSpillVictimsTest, MostProductiveFirst) {
+  std::vector<PartitionId> victims = SelectSpillVictims(
+      SampleGroups(), SpillPolicy::kMostProductiveFirst, 150, nullptr);
+  EXPECT_EQ(victims, (std::vector<PartitionId>{1, 2}));
+}
+
+TEST(SelectSpillVictimsTest, LargestFirst) {
+  std::vector<GroupStats> stats = {MakeStats(0, 50, 0), MakeStats(1, 500, 0),
+                                   MakeStats(2, 100, 0)};
+  std::vector<PartitionId> victims =
+      SelectSpillVictims(stats, SpillPolicy::kLargestFirst, 501, nullptr);
+  EXPECT_EQ(victims, (std::vector<PartitionId>{1, 2}));
+}
+
+TEST(SelectSpillVictimsTest, SmallestFirst) {
+  std::vector<GroupStats> stats = {MakeStats(0, 50, 0), MakeStats(1, 500, 0),
+                                   MakeStats(2, 100, 0)};
+  std::vector<PartitionId> victims =
+      SelectSpillVictims(stats, SpillPolicy::kSmallestFirst, 60, nullptr);
+  EXPECT_EQ(victims, (std::vector<PartitionId>{0, 2}));
+}
+
+TEST(SelectSpillVictimsTest, StopsAtTargetBytes) {
+  std::vector<PartitionId> victims = SelectSpillVictims(
+      SampleGroups(), SpillPolicy::kLeastProductiveFirst, 100, nullptr);
+  EXPECT_EQ(victims.size(), 1u);
+}
+
+TEST(SelectSpillVictimsTest, AtLeastOneVictimForPositiveTarget) {
+  std::vector<PartitionId> victims = SelectSpillVictims(
+      SampleGroups(), SpillPolicy::kLeastProductiveFirst, 1, nullptr);
+  EXPECT_EQ(victims.size(), 1u);
+}
+
+TEST(SelectSpillVictimsTest, EmptyForZeroTargetOrNoGroups) {
+  EXPECT_TRUE(SelectSpillVictims(SampleGroups(),
+                                 SpillPolicy::kLeastProductiveFirst, 0,
+                                 nullptr)
+                  .empty());
+  EXPECT_TRUE(SelectSpillVictims({}, SpillPolicy::kLeastProductiveFirst, 100,
+                                 nullptr)
+                  .empty());
+}
+
+TEST(SelectSpillVictimsTest, RandomIsSeedDeterministicAndCoversTarget) {
+  Rng rng1(42);
+  Rng rng2(42);
+  std::vector<PartitionId> a =
+      SelectSpillVictims(SampleGroups(), SpillPolicy::kRandom, 250, &rng1);
+  std::vector<PartitionId> b =
+      SelectSpillVictims(SampleGroups(), SpillPolicy::kRandom, 250, &rng2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 3u);  // 3 * 100 bytes >= 250
+}
+
+TEST(SelectSpillVictimsTest, TieBreaksOnPartitionId) {
+  std::vector<GroupStats> stats = {MakeStats(5, 100, 10), MakeStats(2, 100, 10),
+                                   MakeStats(9, 100, 10)};
+  std::vector<PartitionId> victims = SelectSpillVictims(
+      stats, SpillPolicy::kLeastProductiveFirst, 250, nullptr);
+  EXPECT_EQ(victims, (std::vector<PartitionId>{2, 5, 9}));
+}
+
+TEST(SelectRelocationCandidatesTest, MostProductiveFirst) {
+  std::vector<PartitionId> chosen =
+      SelectRelocationCandidates(SampleGroups(), 150);
+  EXPECT_EQ(chosen, (std::vector<PartitionId>{1, 2}));
+}
+
+TEST(SelectRelocationCandidatesTest, SkipsEmptyGroups) {
+  std::vector<GroupStats> stats = {MakeStats(0, 0, 0), MakeStats(1, 10, 5)};
+  std::vector<PartitionId> chosen = SelectRelocationCandidates(stats, 5);
+  EXPECT_EQ(chosen, (std::vector<PartitionId>{1}));
+}
+
+}  // namespace
+}  // namespace dcape

@@ -1,0 +1,73 @@
+#include "stream/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dcape {
+namespace {
+
+TEST(AssignClassesByFractionTest, ThirdsMixAcrossIdSpace) {
+  std::vector<int> classes =
+      AssignClassesByFraction(12, {1.0 / 3, 1.0 / 3, 1.0 / 3});
+  ASSERT_EQ(classes.size(), 12u);
+  std::map<int, int> counts;
+  for (int c : classes) counts[c] += 1;
+  EXPECT_EQ(counts[0], 4);
+  EXPECT_EQ(counts[1], 4);
+  EXPECT_EQ(counts[2], 4);
+  // Interleaved: every contiguous run of 3 partitions has all classes.
+  for (size_t i = 0; i + 2 < classes.size(); i += 3) {
+    std::map<int, int> window;
+    for (size_t j = i; j < i + 3; ++j) window[classes[j]] += 1;
+    EXPECT_EQ(window.size(), 3u) << "at offset " << i;
+  }
+}
+
+TEST(AssignClassesByFractionTest, RoundingStillCoversAll) {
+  std::vector<int> classes = AssignClassesByFraction(10, {0.5, 0.5});
+  std::map<int, int> counts;
+  for (int c : classes) counts[c] += 1;
+  EXPECT_EQ(counts[0] + counts[1], 10);
+  EXPECT_EQ(counts[0], 5);
+}
+
+TEST(AssignClassesByFractionTest, SingleClass) {
+  std::vector<int> classes = AssignClassesByFraction(5, {1.0});
+  for (int c : classes) EXPECT_EQ(c, 0);
+}
+
+TEST(AssignClassesByOwnerTest, MapsThroughPlacement) {
+  std::vector<EngineId> placement = {0, 0, 1, 1, 2, 2};
+  std::vector<int> classes = AssignClassesByOwner(placement, {7, 8, 9});
+  EXPECT_EQ(classes, (std::vector<int>{7, 7, 8, 8, 9, 9}));
+}
+
+TEST(KeysPerPartitionTest, MatchesFormula) {
+  WorkloadConfig config;
+  config.num_partitions = 10;
+  config.classes = {PartitionClass{/*join_rate=*/3.0,
+                                   /*tuple_range=*/30000}};
+  // 30000 / (3 * 10) = 1000 keys.
+  EXPECT_EQ(KeysPerPartition(config, 0), 1000);
+}
+
+TEST(KeysPerPartitionTest, PerPartitionClasses) {
+  WorkloadConfig config;
+  config.num_partitions = 4;
+  config.classes = {PartitionClass{4.0, 1600}, PartitionClass{1.0, 1600}};
+  config.partition_class = {0, 1, 0, 1};
+  EXPECT_EQ(KeysPerPartition(config, 0), 100);  // 1600/(4*4)
+  EXPECT_EQ(KeysPerPartition(config, 1), 400);  // 1600/(1*4)
+}
+
+TEST(KeysPerPartitionTest, NeverBelowOne) {
+  WorkloadConfig config;
+  config.num_partitions = 100;
+  config.classes = {PartitionClass{/*join_rate=*/1000.0,
+                                   /*tuple_range=*/10}};
+  EXPECT_EQ(KeysPerPartition(config, 42), 1);
+}
+
+}  // namespace
+}  // namespace dcape

@@ -1,0 +1,97 @@
+// dcape_run — command-line experiment driver for the DCAPE library.
+//
+// Examples:
+//   dcape_run --strategy=lazy-disk --engines=3 --placement=0.6,0.2,0.2
+//             --threshold-kib=16384 --duration-min=20
+//   dcape_run --strategy=active-disk --verbose --csv=run.csv
+//   dcape_run --record-trace=day.trace --duration-min=5
+//   dcape_run --replay-trace=day.trace --strategy=spill-only
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "metrics/csv.h"
+#include "metrics/table_printer.h"
+#include "runtime/cluster.h"
+#include "runtime/experiment_flags.h"
+#include "stream/trace.h"
+
+namespace dcape {
+namespace {
+
+int Run(const std::vector<std::string>& args) {
+  StatusOr<ExperimentOptions> parsed = ParseExperimentFlags(args);
+  if (!parsed.ok()) {
+    std::cerr << parsed.status().message() << "\n";
+    return 2;
+  }
+  ExperimentOptions options = std::move(parsed).value();
+  Logging::SetLevel(options.verbose ? LogLevel::kInfo : LogLevel::kWarning);
+
+  if (!options.replay_trace_path.empty()) {
+    StatusOr<std::string> trace = ReadTraceFile(options.replay_trace_path);
+    if (!trace.ok()) {
+      std::cerr << "cannot read trace: " << trace.status() << "\n";
+      return 1;
+    }
+    options.cluster.replay_trace =
+        std::make_shared<const std::string>(*std::move(trace));
+  }
+  if (!options.record_trace_path.empty()) {
+    options.cluster.record_trace = std::make_shared<std::string>();
+  }
+
+  std::cout << "strategy=" << StrategyName(options.cluster.strategy)
+            << " engines=" << options.cluster.num_engines << " duration="
+            << options.cluster.run_duration / MinutesToTicks(1)
+            << "min threshold="
+            << FormatBytes(options.cluster.spill.memory_threshold_bytes)
+            << "\n";
+
+  Cluster cluster(options.cluster);
+  RunResult result = cluster.Run();
+  result.PrintSummary(std::cout);
+
+  if (options.tables) {
+    TimeSeries rate = ToRatePerMinute(result.throughput);
+    rate.set_name("tuples/min");
+    std::vector<const TimeSeries*> series = {&result.throughput, &rate};
+    for (const TimeSeries& m : result.engine_memory) series.push_back(&m);
+    const int64_t minutes =
+        options.cluster.run_duration / MinutesToTicks(1);
+    PrintSeriesByMinute(std::cout, "minute", series, 0, minutes,
+                        std::max<int64_t>(1, minutes / 10));
+  }
+
+  if (!options.csv_path.empty()) {
+    std::vector<const TimeSeries*> series = {&result.throughput};
+    for (const TimeSeries& m : result.engine_memory) series.push_back(&m);
+    Status status = WriteSeriesCsv(options.csv_path, series);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "series written to " << options.csv_path << "\n";
+  }
+  if (!options.record_trace_path.empty()) {
+    Status status = WriteTraceFile(options.record_trace_path,
+                                   *options.cluster.record_trace);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "trace (" << options.cluster.record_trace->size()
+              << " bytes) written to " << options.record_trace_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dcape
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return dcape::Run(args);
+}
