@@ -14,11 +14,13 @@
 #include "common/rng.h"
 #include "core/victim_policy.h"
 #include "net/network.h"
+#include "runtime/cluster.h"
 #include "state/partition_group.h"
 #include "state/state_manager.h"
 #include "storage/disk_backend.h"
 #include "storage/spill_store.h"
 #include "stream/stream_generator.h"
+#include "tuple/serde.h"
 
 namespace dcape {
 namespace {
@@ -103,6 +105,46 @@ void BM_GroupDeserialize(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupDeserialize)->Arg(100)->Arg(1000)->Arg(10000);
 
+/// Batch serialization — the data-plane cost of every split → engine
+/// hop. items/s is tuples encoded per second.
+void BM_TupleBatchEncode(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TupleBatch batch;
+  batch.stream_id = 0;
+  for (int i = 0; i < n; ++i) {
+    batch.tuples.push_back(MakeTuple(0, i, i % 50, 64));
+  }
+  std::string out;
+  for (auto _ : state) {
+    out.clear();
+    EncodeTupleBatch(batch, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(out.size()));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TupleBatchEncode)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_TupleBatchDecode(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  TupleBatch batch;
+  batch.stream_id = 0;
+  for (int i = 0; i < n; ++i) {
+    batch.tuples.push_back(MakeTuple(0, i, i % 50, 64));
+  }
+  std::string blob;
+  EncodeTupleBatch(batch, &blob);
+  for (auto _ : state) {
+    StatusOr<TupleBatch> decoded = DecodeTupleBatch(blob);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TupleBatchDecode)->Arg(16)->Arg(256)->Arg(4096);
+
 void BM_SpillStoreWrite(benchmark::State& state) {
   SpillStore store(0, SpillStore::Config{},
                    std::make_unique<MemoryDiskBackend>());
@@ -172,6 +214,33 @@ void BM_StreamGeneratorEmit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 3);
 }
 BENCHMARK(BM_StreamGeneratorEmit);
+
+/// Full cluster stepping: generator → splits → engines → sink, 100
+/// virtual ticks per iteration, with the worker-thread count as the
+/// benchmark argument. items/s is end-to-end tuples per wall second.
+/// The sliding window bounds state so long benchmark runs stay flat.
+void BM_ClusterTick(benchmark::State& state) {
+  ClusterConfig config;
+  config.num_engines = 4;
+  config.num_threads = static_cast<int>(state.range(0));
+  config.workload.num_streams = 3;
+  config.workload.num_partitions = 24;
+  config.workload.inter_arrival_ticks = 1;
+  config.workload.payload_bytes = 40;
+  config.workload.classes = {PartitionClass{1.0, 4800}};
+  config.join_window_ticks = SecondsToTicks(5);
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  config.collect_results = false;
+  config.run_cleanup = false;
+  Cluster cluster(config);
+  Tick now = cluster.now();
+  for (auto _ : state) {
+    now += 100;
+    cluster.RunUntil(now);
+  }
+  state.SetItemsProcessed(cluster.source().total_emitted());
+}
+BENCHMARK(BM_ClusterTick)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_StateManagerProcess(benchmark::State& state) {
   StateManager manager(3);

@@ -26,15 +26,18 @@ QueryEngine::QueryEngine(const EngineConfig& config, Network* network,
   DCAPE_CHECK(network_ != nullptr);
 }
 
+void QueryEngine::OnTupleBatch(Tick now, TupleBatch&& batch) {
+  if (now >= busy_until_ && pending_batches_.empty()) {
+    ProcessBatch(now, batch);
+  } else {
+    pending_batches_.push_back(std::move(batch));
+  }
+}
+
 void QueryEngine::OnMessage(Tick now, const Message& message) {
   switch (message.type) {
     case MessageType::kTupleBatch: {
-      const auto& batch = std::get<TupleBatch>(message.payload);
-      if (now >= busy_until_ && pending_batches_.empty()) {
-        ProcessBatch(now, batch);
-      } else {
-        pending_batches_.push_back(batch);
-      }
+      OnTupleBatch(now, TupleBatch(std::get<TupleBatch>(message.payload)));
       return;
     }
     case MessageType::kComputePartitionsToMove: {

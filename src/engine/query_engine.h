@@ -103,6 +103,10 @@ class QueryEngine {
   /// `network->RegisterNode(node_id, ...)` bound to this method.
   void OnMessage(Tick now, const Message& message);
 
+  /// Data-plane fast path: same semantics as a kTupleBatch OnMessage,
+  /// but takes ownership of the batch so queueing never copies tuples.
+  void OnTupleBatch(Tick now, TupleBatch&& batch);
+
   /// Per-tick housekeeping: drain queued batches when free, run the
   /// ss_timer spill check, emit the periodic stats report.
   void OnTick(Tick now);

@@ -4,7 +4,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <queue>
 #include <utility>
 #include <vector>
 
@@ -24,6 +23,15 @@ namespace dcape {
 /// link (from → to) is FIFO — a later message never overtakes an earlier
 /// one on the same link, exactly like a TCP connection. The relocation
 /// protocol's drain markers rely on that FIFO property.
+///
+/// Parallel stepping support: during the concurrent phase of a virtual
+/// tick the driver switches the network into *buffered* mode
+/// (BeginBuffered). Sends then append to a per-source-node outbox instead
+/// of entering the global queue, which is thread-safe so long as no two
+/// concurrent tasks send on behalf of the same node. FlushBuffered merges
+/// all outboxes into the queue in (source node id, send order) order —
+/// the deterministic merge rule that makes a multi-threaded run
+/// bit-identical to the single-threaded one.
 class Network {
  public:
   struct Config {
@@ -34,8 +42,10 @@ class Network {
     int64_t bytes_per_tick = 125000;
   };
 
-  /// Per-message delivery callback; `now` is the delivery tick.
-  using Handler = std::function<void(Tick now, const Message& message)>;
+  /// Per-message delivery callback; `now` is the delivery tick. The
+  /// message is mutable so handlers on the data-plane hot path can move
+  /// the payload out instead of copying it; it is dead after the call.
+  using Handler = std::function<void(Tick now, Message& message)>;
 
   /// Aggregate traffic statistics.
   struct Stats {
@@ -43,6 +53,18 @@ class Network {
     int64_t bytes_sent = 0;
     /// Bytes sent in kStateTransfer messages only (relocation traffic).
     int64_t state_transfer_bytes = 0;
+  };
+
+  /// One message due for delivery, as handed out by TakeArrivals.
+  struct Delivery {
+    Tick arrival = 0;
+    Message message;
+  };
+
+  /// All messages due at one destination, in (arrival, sequence) order.
+  struct Inbox {
+    NodeId node = kInvalidNode;
+    std::vector<Delivery> deliveries;
   };
 
   explicit Network(const Config& config) : config_(config) {}
@@ -56,16 +78,41 @@ class Network {
   void RegisterNode(NodeId node, Handler handler);
 
   /// Enqueues `message` for delivery. `message.from/to` must be set and
-  /// `to` must name a registered node by delivery time.
+  /// `to` must name a registered node by delivery time. In buffered mode
+  /// the message parks in the outbox of `message.from` until
+  /// FlushBuffered.
   void Send(Message message, Tick now);
 
   /// Delivers every message whose arrival tick is <= `now`, in
   /// deterministic order. Handlers may send further messages; those are
-  /// delivered too if they also arrive by `now`.
+  /// delivered too if they also arrive by `now`. Must not be called in
+  /// buffered mode (drivers use TakeArrivals/Deliver there).
   void DeliverUntil(Tick now);
 
-  /// True when no message is queued.
-  bool idle() const { return queue_.empty(); }
+  /// Switches Send into buffered (per-source outbox) mode. Concurrent
+  /// Send calls are safe iff each source node is driven by at most one
+  /// task at a time.
+  void BeginBuffered();
+
+  /// Merges every outbox into the global queue in (source node id, send
+  /// order) order and leaves buffered mode. Arrival times, link-FIFO
+  /// clamping, sequence numbers, and traffic stats are all applied here,
+  /// at the barrier, so they are independent of task interleaving.
+  void FlushBuffered();
+
+  /// Removes every queued message with arrival tick <= `now` and returns
+  /// them grouped by destination (ascending node id), each group in
+  /// (arrival, sequence) order. Messages sent after the call — e.g. by
+  /// handlers during the subsequent Deliver — queue for a later wave.
+  std::vector<Inbox> TakeArrivals(Tick now);
+
+  /// Invokes `node`'s registered handler for each delivery in order.
+  /// Safe to call from pool workers for disjoint inboxes: it only reads
+  /// the handler table and the inbox itself.
+  void Deliver(Inbox& inbox) const;
+
+  /// True when no message is queued (outboxes must be flushed).
+  bool idle() const { return heap_.empty(); }
 
   /// Earliest queued arrival tick, or -1 when idle. Lets drivers fast-
   /// forward quiet periods.
@@ -80,19 +127,34 @@ class Network {
     int64_t sequence;  // global tie-breaker for determinism
     Message message;
   };
-  struct ArrivalOrder {
+  struct LaterArrival {
     bool operator()(const InFlight& a, const InFlight& b) const {
-      // priority_queue is a max-heap; invert for earliest-first.
+      // std::*_heap build max-heaps; invert for earliest-first.
       if (a.arrival != b.arrival) return a.arrival > b.arrival;
       return a.sequence > b.sequence;
     }
   };
+  struct BufferedSend {
+    Message message;
+    Tick send_time;
+  };
+
+  /// Assigns arrival/sequence and pushes onto the delivery heap.
+  void Enqueue(Message message, Tick now);
+  /// Pops the earliest in-flight message off the heap.
+  InFlight PopEarliest();
 
   Config config_;
   std::map<NodeId, Handler> handlers_;
-  std::priority_queue<InFlight, std::vector<InFlight>, ArrivalOrder> queue_;
+  /// Min-heap over (arrival, sequence), via std::push_heap/std::pop_heap
+  /// so entries can be *moved* out on delivery.
+  std::vector<InFlight> heap_;
   /// Last scheduled arrival per directed link, for FIFO enforcement.
   std::map<std::pair<NodeId, NodeId>, Tick> link_last_arrival_;
+  /// outboxes_[source node] = sends parked during buffered mode.
+  std::vector<std::vector<BufferedSend>> outboxes_;
+  NodeId max_registered_node_ = -1;
+  bool buffered_ = false;
   int64_t next_sequence_ = 0;
   Stats stats_;
 };

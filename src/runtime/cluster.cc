@@ -21,6 +21,7 @@ Cluster::Cluster(const ClusterConfig& config)
       coordinator_node_(config.num_engines),
       sink_node_(config.num_engines + 1),
       generator_node_(config.num_engines + 2),
+      pool_(std::max(1, config.num_threads)),
       network_(config.network),
       placement_(PlacementFor(config)),
       sink_(config.collect_results) {
@@ -129,11 +130,16 @@ Cluster::Cluster(const ClusterConfig& config)
       generator_node_, std::move(source), host_of_stream, &network_,
       config_.record_trace != nullptr ? config_.record_trace.get() : nullptr);
 
-  // Wire delivery handlers.
+  // Wire delivery handlers. Data-plane messages (tuple batches, result
+  // batches) are moved out of the delivered message instead of copied.
   for (EngineId e = 0; e < config_.num_engines; ++e) {
     QueryEngine* engine = engines_[static_cast<size_t>(e)].get();
-    network_.RegisterNode(e, [engine](Tick now, const Message& m) {
-      engine->OnMessage(now, m);
+    network_.RegisterNode(e, [engine](Tick now, Message& m) {
+      if (m.type == MessageType::kTupleBatch) {
+        engine->OnTupleBatch(now, std::move(std::get<TupleBatch>(m.payload)));
+      } else {
+        engine->OnMessage(now, m);
+      }
     });
   }
   network_.RegisterNode(coordinator_node_,
@@ -143,18 +149,24 @@ Cluster::Cluster(const ClusterConfig& config)
   for (int h = 0; h < num_hosts; ++h) {
     SplitHost* host = split_hosts_[static_cast<size_t>(h)].get();
     network_.RegisterNode(generator_node_ + 1 + h,
-                          [host](Tick now, const Message& m) {
-                            host->OnMessage(now, m);
+                          [host](Tick now, Message& m) {
+                            if (m.type == MessageType::kTupleBatch) {
+                              host->OnTupleBatch(
+                                  now,
+                                  std::move(std::get<TupleBatch>(m.payload)));
+                            } else {
+                              host->OnMessage(now, m);
+                            }
                           });
   }
   if (config_.aggregate_op.has_value()) {
     aggregate_ = std::make_unique<GroupByAggregate>(*config_.aggregate_op);
   }
-  network_.RegisterNode(sink_node_, [this](Tick now, const Message& m) {
+  network_.RegisterNode(sink_node_, [this](Tick now, Message& m) {
     DCAPE_CHECK(m.type == MessageType::kResultBatch);
-    const auto& batch = std::get<ResultBatch>(m.payload);
+    auto& batch = std::get<ResultBatch>(m.payload);
     if (aggregate_ != nullptr) aggregate_->ConsumeAll(batch.results);
-    union_op_.Add(batch.results);
+    union_op_.Add(std::move(batch.results));
     sink_.Consume(now, union_op_.Drain());
   });
 
@@ -166,19 +178,51 @@ Cluster::Cluster(const ClusterConfig& config)
   throughput_series_.set_name("cumulative_results");
 }
 
+void Cluster::DeliverWaves(Tick now) {
+  // Delivery supersteps: each wave removes every message due by `now`,
+  // drains the engine/split-host inboxes concurrently on the pool, the
+  // coordinator/sink inboxes on the caller, and merges all sends in
+  // (node id, send order) order at the barrier. Handlers only touch
+  // their own node's state, so disjoint inboxes never race; the merge
+  // rule makes the schedule identical for every pool size. The loop
+  // repeats for zero-latency sends that fall due within the same tick.
+  while (true) {
+    const Tick next = network_.NextArrival();
+    if (next < 0 || next > now) break;
+    std::vector<Network::Inbox> inboxes = network_.TakeArrivals(now);
+    network_.BeginBuffered();
+    std::vector<Network::Inbox*> concurrent;
+    concurrent.reserve(inboxes.size());
+    for (Network::Inbox& inbox : inboxes) {
+      if (IsConcurrentNode(inbox.node)) concurrent.push_back(&inbox);
+    }
+    pool_.ParallelFor(static_cast<int>(concurrent.size()),
+                      [&](int i) { network_.Deliver(*concurrent[i]); });
+    for (Network::Inbox& inbox : inboxes) {
+      if (!IsConcurrentNode(inbox.node)) network_.Deliver(inbox);
+    }
+    network_.FlushBuffered();
+  }
+}
+
 void Cluster::StepTick(Tick now, bool generate) {
-  network_.DeliverUntil(now);
+  DeliverWaves(now);
   generator_->OnTick(now, generate);
-  for (auto& engine : engines_) engine->OnTick(now);
+  // Engine housekeeping (pending batches, spill checks, stats) is
+  // per-engine state only; their sends buffer and merge like a wave.
+  network_.BeginBuffered();
+  pool_.ParallelFor(static_cast<int>(engines_.size()), [&](int i) {
+    engines_[static_cast<size_t>(i)]->OnTick(now);
+  });
+  network_.FlushBuffered();
   if (!draining_) coordinator_->OnTick(now);
 }
 
 void Cluster::SampleIfDue(Tick now, bool force) {
-  if (!force && last_sample_ >= 0 &&
-      now - last_sample_ < config_.sample_period) {
-    return;
-  }
-  last_sample_ = now;
+  // Precomputed next-due tick keeps the common (not due) case to one
+  // comparison; RunUntil calls this every tick.
+  if (!force && now < next_sample_) return;
+  next_sample_ = now + config_.sample_period;
   throughput_series_.Add(now, static_cast<double>(sink_.total()));
   for (EngineId e = 0; e < config_.num_engines; ++e) {
     memory_series_[static_cast<size_t>(e)].Add(
@@ -195,33 +239,31 @@ void Cluster::RunUntil(Tick end) {
   }
 }
 
+bool Cluster::Quiescent(Tick now) const {
+  // Ordered cheapest-first: the O(1) network check fails on almost every
+  // mid-drain tick, short-circuiting the host/engine walks.
+  if (!network_.idle()) return false;
+  for (const auto& host : split_hosts_) {
+    if (host->total_buffered() != 0) return false;
+  }
+  for (const auto& engine : engines_) {
+    if (!engine->Idle(now)) return false;
+  }
+  return true;
+}
+
 void Cluster::Drain() {
   draining_ = true;
   const Tick start = clock_.now();
   const Tick cap = start + MinutesToTicks(30);
   Tick t = start;
+  // No sampling inside the loop: the series get one forced point at the
+  // quiescence tick below.
   while (t < cap) {
     ++t;
     clock_.AdvanceTo(t);
     StepTick(t, /*generate=*/false);
-    bool idle = network_.idle();
-    if (idle) {
-      for (auto& host : split_hosts_) {
-        if (host->total_buffered() != 0) {
-          idle = false;
-          break;
-        }
-      }
-    }
-    if (idle) {
-      for (auto& engine : engines_) {
-        if (!engine->Idle(t)) {
-          idle = false;
-          break;
-        }
-      }
-    }
-    if (idle) break;
+    if (Quiescent(t)) break;
   }
   DCAPE_CHECK_LT(t, cap);  // pipeline failed to quiesce
   SampleIfDue(clock_.now(), /*force=*/true);

@@ -14,6 +14,7 @@
 #include "operators/sink.h"
 #include "operators/union_op.h"
 #include "runtime/cluster_config.h"
+#include "runtime/exec_pool.h"
 #include "runtime/run_result.h"
 #include "runtime/generator_node.h"
 #include "runtime/split_host.h"
@@ -98,11 +99,26 @@ class Cluster {
  private:
   void StepTick(Tick now, bool generate);
   void SampleIfDue(Tick now, bool force = false);
+  /// Delivers every message due at `now` in deterministic waves: engine
+  /// and split-host inboxes drain concurrently on the pool, the
+  /// coordinator/sink inboxes drain on the caller, and all sends merge at
+  /// the wave barrier in (node id, send order) order.
+  void DeliverWaves(Tick now);
+  /// True when the whole pipeline is idle: no queued messages, no
+  /// buffered split tuples, no busy/backlogged engines.
+  bool Quiescent(Tick now) const;
+  /// True for nodes whose inboxes may be drained concurrently (each such
+  /// node's state is touched only by its own task).
+  bool IsConcurrentNode(NodeId node) const {
+    return node < static_cast<NodeId>(config_.num_engines) ||
+           node > generator_node_;
+  }
 
   ClusterConfig config_;
   NodeId coordinator_node_;
   NodeId sink_node_;
   NodeId generator_node_;
+  ExecPool pool_;
   Network network_;
   std::vector<EngineId> placement_;
   std::vector<std::unique_ptr<QueryEngine>> engines_;
@@ -113,7 +129,7 @@ class Cluster {
   ResultSink sink_;
   std::unique_ptr<GroupByAggregate> aggregate_;
   VirtualClock clock_;
-  Tick last_sample_ = -1;
+  Tick next_sample_ = 0;
   TimeSeries throughput_series_;
   std::vector<TimeSeries> memory_series_;
   bool draining_ = false;

@@ -31,6 +31,11 @@ struct ClusterConfig {
   /// count; streams are assigned round-robin). 1 colocates every split
   /// with the generator node, the paper's described deployment.
   int num_split_hosts = 1;
+  /// Worker threads stepping the engines and split hosts within each
+  /// virtual tick (see runtime/exec_pool.h). Results are bit-identical
+  /// for every value: sends are buffered per node and merged in
+  /// deterministic order at the tick barrier. 1 = fully serial.
+  int num_threads = 1;
   WorkloadConfig workload;
   /// When non-empty, replay this recorded trace instead of generating the
   /// synthetic workload (workload.num_partitions still sizes the routing

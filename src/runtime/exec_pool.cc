@@ -1,0 +1,78 @@
+#include "runtime/exec_pool.h"
+
+#include "common/check.h"
+
+namespace dcape {
+
+ExecPool::ExecPool(int num_workers) : num_workers_(num_workers) {
+  DCAPE_CHECK_GE(num_workers, 1);
+  threads_.reserve(static_cast<size_t>(num_workers - 1));
+  for (int i = 1; i < num_workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExecPool::~ExecPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  batch_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ExecPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (threads_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    batch_size_ = n;
+    next_index_ = 0;
+    remaining_ = n;
+    ++epoch_;
+  }
+  batch_ready_.notify_all();
+  RunBatch();
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+}
+
+void ExecPool::RunBatch() {
+  while (true) {
+    const std::function<void(int)>* fn;
+    int index;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_index_ >= batch_size_) return;
+      index = next_index_++;
+      fn = fn_;
+    }
+    (*fn)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void ExecPool::WorkerLoop() {
+  int64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_ready_.wait(lock, [this, seen_epoch] {
+        return stopping_ || epoch_ != seen_epoch;
+      });
+      if (stopping_) return;
+      seen_epoch = epoch_;
+    }
+    RunBatch();
+  }
+}
+
+}  // namespace dcape

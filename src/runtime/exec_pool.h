@@ -1,0 +1,69 @@
+#ifndef DCAPE_RUNTIME_EXEC_POOL_H_
+#define DCAPE_RUNTIME_EXEC_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcape {
+
+/// A fixed-size worker pool with a fork/join barrier, used to step the
+/// cluster's independent nodes (query engines, split hosts) concurrently
+/// within one virtual tick.
+///
+/// The pool deliberately has no queues, futures, or task ownership: one
+/// ParallelFor call is one barrier. The caller's thread participates in
+/// the work, so `num_workers` is the total parallelism (a pool of 1 runs
+/// everything inline on the caller and never spawns a thread — the serial
+/// mode every run must be bit-identical to).
+///
+/// Determinism contract: ParallelFor guarantees only that fn(0..n-1) all
+/// complete before it returns. Tasks must not share mutable state; the
+/// cluster gives each task one node and buffers its network sends
+/// per-node (see net::Network's outboxes), so the merged outcome is
+/// independent of how tasks interleave.
+class ExecPool {
+ public:
+  /// A pool with `num_workers` total execution lanes (>= 1). Lane 0 is
+  /// the calling thread; `num_workers - 1` background threads are
+  /// spawned.
+  explicit ExecPool(int num_workers);
+
+  ExecPool(const ExecPool&) = delete;
+  ExecPool& operator=(const ExecPool&) = delete;
+
+  ~ExecPool();
+
+  /// Invokes `fn(i)` for every i in [0, n), distributed over the lanes,
+  /// and returns once all n invocations completed (the join barrier).
+  /// With one lane (or n <= 1) the calls run inline in index order.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+  int num_workers() const { return num_workers_; }
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs task indices until the current batch is exhausted.
+  void RunBatch();
+
+  const int num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable batch_ready_;
+  std::condition_variable batch_done_;
+  /// Batch state, all guarded by mu_.
+  const std::function<void(int)>* fn_ = nullptr;
+  int batch_size_ = 0;
+  int next_index_ = 0;
+  int remaining_ = 0;
+  int64_t epoch_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_RUNTIME_EXEC_POOL_H_

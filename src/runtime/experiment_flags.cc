@@ -104,6 +104,12 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
       if (v < 1) return Status::InvalidArgument("--split-hosts must be >= 1");
       config.num_split_hosts = static_cast<int>(v);
+    } else if (key == "--threads") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 1 || v > 256) {
+        return Status::InvalidArgument("--threads must be in [1, 256]");
+      }
+      config.num_threads = static_cast<int>(v);
     } else if (key == "--streams") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
       if (v < 2 || v > 16) {
@@ -243,6 +249,8 @@ query / workload:
 cluster / run:
   --engines=N            query engines                           [2]
   --split-hosts=N        nodes hosting the split operators       [1]
+  --threads=N            worker threads stepping the cluster
+                         (results are identical for any value)   [1]
   --placement=F,F,...    initial partition shares per engine     [uniform]
   --duration-min=N       run-time phase length (virtual)         [10]
 

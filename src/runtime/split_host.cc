@@ -77,12 +77,15 @@ void SplitHost::FilterAndRoute(Tick now, std::vector<Tuple> tuples) {
   if (!tuples.empty()) RouteAndSend(now, std::move(tuples));
 }
 
+void SplitHost::OnTupleBatch(Tick now, TupleBatch&& batch) {
+  DCAPE_CHECK(HostsStream(batch.stream_id));
+  FilterAndRoute(now, std::move(batch.tuples));
+}
+
 void SplitHost::OnMessage(Tick now, const Message& message) {
   switch (message.type) {
     case MessageType::kTupleBatch: {
-      const auto& batch = std::get<TupleBatch>(message.payload);
-      DCAPE_CHECK(HostsStream(batch.stream_id));
-      FilterAndRoute(now, batch.tuples);
+      OnTupleBatch(now, TupleBatch(std::get<TupleBatch>(message.payload)));
       return;
     }
     case MessageType::kPausePartitions: {

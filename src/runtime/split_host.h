@@ -51,6 +51,9 @@ class SplitHost {
   /// Network delivery callback (tuple batches + protocol messages).
   void OnMessage(Tick now, const Message& message);
 
+  /// Data-plane fast path: routes the batch without copying its tuples.
+  void OnTupleBatch(Tick now, TupleBatch&& batch);
+
   Split& split(StreamId stream);
   const Split& split(StreamId stream) const;
   bool HostsStream(StreamId stream) const {

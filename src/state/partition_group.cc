@@ -22,9 +22,10 @@ int64_t PartitionGroup::ProbeAndInsert(const Tuple& tuple,
   DCAPE_CHECK_LT(tuple.stream_id, num_streams_);
 
   // Collect the match lists of every other stream; an m-way result needs
-  // a partner from each of them.
-  std::vector<const std::vector<Tuple>*> matches(
-      static_cast<size_t>(num_streams_), nullptr);
+  // a partner from each of them. The scratch vectors are members: assign
+  // reuses their capacity, so steady-state probes never allocate.
+  std::vector<const std::vector<Tuple>*>& matches = probe_matches_;
+  matches.assign(static_cast<size_t>(num_streams_), nullptr);
   bool all_matched = true;
   for (int s = 0; s < num_streams_; ++s) {
     if (s == tuple.stream_id) continue;
@@ -45,7 +46,8 @@ int64_t PartitionGroup::ProbeAndInsert(const Tuple& tuple,
     result.member_seqs.assign(static_cast<size_t>(num_streams_), 0);
     result.member_seqs[static_cast<size_t>(tuple.stream_id)] = tuple.seq;
 
-    std::vector<size_t> cursor(static_cast<size_t>(num_streams_), 0);
+    std::vector<size_t>& cursor = probe_cursor_;
+    cursor.assign(static_cast<size_t>(num_streams_), 0);
     while (true) {
       int64_t agg = 0;
       bool first_member = true;
@@ -101,22 +103,25 @@ int64_t PartitionGroup::EvictBefore(Tick cutoff, PartitionGroup* evicted) {
     auto& table = tables_[static_cast<size_t>(s)];
     for (auto it = table.begin(); it != table.end();) {
       std::vector<Tuple>& tuples = it->second;
-      std::vector<Tuple> kept;
-      kept.reserve(tuples.size());
-      for (Tuple& t : tuples) {
+      // In-place stable compaction: expired tuples move to `evicted`,
+      // survivors slide left. No temporary vector per bucket.
+      size_t write = 0;
+      for (size_t read = 0; read < tuples.size(); ++read) {
+        Tuple& t = tuples[read];
         if (t.timestamp < cutoff) {
           bytes_ -= t.ByteSize();
           tuple_count_ -= 1;
           ++moved;
           evicted->InsertOnly(std::move(t));
         } else {
-          kept.push_back(std::move(t));
+          if (write != read) tuples[write] = std::move(t);
+          ++write;
         }
       }
-      if (kept.empty()) {
+      if (write == 0) {
         it = table.erase(it);
       } else {
-        it->second = std::move(kept);
+        tuples.resize(write);
         ++it;
       }
     }
@@ -131,6 +136,15 @@ void PartitionGroup::InsertOnly(const Tuple& tuple) {
   tuple_count_ += 1;
   tables_[static_cast<size_t>(tuple.stream_id)][tuple.join_key].push_back(
       tuple);
+}
+
+void PartitionGroup::InsertOnly(Tuple&& tuple) {
+  DCAPE_CHECK_GE(tuple.stream_id, 0);
+  DCAPE_CHECK_LT(tuple.stream_id, num_streams_);
+  bytes_ += tuple.ByteSize();
+  tuple_count_ += 1;
+  auto& bucket = tables_[static_cast<size_t>(tuple.stream_id)][tuple.join_key];
+  bucket.push_back(std::move(tuple));
 }
 
 void PartitionGroup::MergeFrom(PartitionGroup&& other) {
@@ -153,7 +167,15 @@ void PartitionGroup::MergeFrom(PartitionGroup&& other) {
   other.outputs_ = 0;
 }
 
+int64_t PartitionGroup::SerializedByteSize() const {
+  // Header (partition i32 + num_streams i32 + outputs i64), one i64
+  // tuple count per stream, then the tuples; bytes_ tracks exactly the
+  // tuples' serialized size (Tuple::ByteSize == TupleSerializedSize).
+  return 16 + 8 * static_cast<int64_t>(num_streams_) + bytes_;
+}
+
 void PartitionGroup::Serialize(std::string* out) const {
+  out->reserve(out->size() + static_cast<size_t>(SerializedByteSize()));
   ByteWriter writer(out);
   writer.PutI32(partition_);
   writer.PutI32(num_streams_);
@@ -192,7 +214,7 @@ StatusOr<PartitionGroup> PartitionGroup::Deserialize(std::string_view data) {
         return Status::InvalidArgument(
             "tuple stream id does not match its serialized section");
       }
-      group.InsertOnly(t);
+      group.InsertOnly(std::move(t));
     }
   }
   if (!reader.exhausted()) {

@@ -65,6 +65,8 @@ class PartitionGroup {
 
   /// Inserts without probing (used when rebuilding state during cleanup).
   void InsertOnly(const Tuple& tuple);
+  /// Move overload: takes ownership of the tuple's payload.
+  void InsertOnly(Tuple&& tuple);
 
   /// Merges all state and counters of `other` into this group. Used when
   /// a relocated group lands on an engine that has since accumulated new
@@ -72,8 +74,12 @@ class PartitionGroup {
   /// prevents this).
   void MergeFrom(PartitionGroup&& other);
 
+  /// Exact number of bytes Serialize appends. O(1): the tracked byte
+  /// accounting already equals the tuples' serialized size.
+  int64_t SerializedByteSize() const;
+
   /// Serializes the full group (counters + all tuples) for spilling or
-  /// relocation. Appends to `out`.
+  /// relocation. Appends to `out`, pre-sizing it by SerializedByteSize().
   void Serialize(std::string* out) const;
 
   /// Reconstructs a group from Serialize output.
@@ -111,6 +117,10 @@ class PartitionGroup {
   int64_t bytes_ = 0;
   int64_t tuple_count_ = 0;
   int64_t outputs_ = 0;
+  /// Reusable probe scratch: match list per stream and the odometer
+  /// cursor. Members so the per-tuple hot path never heap-allocates.
+  std::vector<const std::vector<Tuple>*> probe_matches_;
+  std::vector<size_t> probe_cursor_;
 };
 
 }  // namespace dcape

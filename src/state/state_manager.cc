@@ -51,6 +51,7 @@ std::vector<StateManager::ExtractedGroup> StateManager::ExtractGroups(
     out.partition = partition;
     out.bytes = group.bytes();
     out.tuple_count = group.tuple_count();
+    out.blob.reserve(static_cast<size_t>(group.SerializedByteSize()));
     group.Serialize(&out.blob);
     total_bytes_ -= group.bytes();
     total_tuples_ -= group.tuple_count();
@@ -94,6 +95,7 @@ std::vector<StateManager::ExtractedGroup> StateManager::EvictExpired(
     out.partition = partition;
     out.bytes = expired.bytes();
     out.tuple_count = expired.tuple_count();
+    out.blob.reserve(static_cast<size_t>(expired.SerializedByteSize()));
     expired.Serialize(&out.blob);
     evicted.push_back(std::move(out));
     if (group->empty()) emptied.push_back(partition);

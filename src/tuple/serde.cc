@@ -67,6 +67,17 @@ StatusOr<std::string> ByteReader::GetString() {
   return s;
 }
 
+size_t TupleSerializedSize(const Tuple& tuple) {
+  // i32 stream + 5 x i64 + u32 payload length prefix + payload bytes.
+  return 4 + 5 * 8 + 4 + tuple.payload.size();
+}
+
+size_t TupleBatchSerializedSize(const TupleBatch& batch) {
+  size_t total = 4 + 4;  // i32 stream id + u32 count
+  for (const Tuple& t : batch.tuples) total += TupleSerializedSize(t);
+  return total;
+}
+
 void EncodeTuple(const Tuple& tuple, std::string* out) {
   ByteWriter writer(out);
   writer.PutI32(tuple.stream_id);
@@ -91,6 +102,7 @@ StatusOr<Tuple> DecodeTuple(ByteReader* reader) {
 }
 
 void EncodeTupleBatch(const TupleBatch& batch, std::string* out) {
+  out->reserve(out->size() + TupleBatchSerializedSize(batch));
   ByteWriter writer(out);
   writer.PutI32(batch.stream_id);
   writer.PutU32(static_cast<uint32_t>(batch.tuples.size()));

@@ -54,13 +54,24 @@ class ByteReader {
   size_t pos_;
 };
 
-/// Serializes one tuple (appends to `out`).
+/// Exact bytes EncodeTuple appends: the fixed header plus the
+/// length-prefixed payload. Kept in sync with Tuple::ByteSize() so byte
+/// accounting doubles as serialized-size accounting.
+size_t TupleSerializedSize(const Tuple& tuple);
+
+/// Exact bytes EncodeTupleBatch appends.
+size_t TupleBatchSerializedSize(const TupleBatch& batch);
+
+/// Serializes one tuple (appends to `out`). Callers encoding many tuples
+/// should pre-size `out` via the *SerializedSize helpers; EncodeTuple
+/// itself never reserves.
 void EncodeTuple(const Tuple& tuple, std::string* out);
 
 /// Deserializes one tuple from the reader's current position.
 StatusOr<Tuple> DecodeTuple(ByteReader* reader);
 
-/// Serializes a batch: stream id, count, then each tuple.
+/// Serializes a batch: stream id, count, then each tuple. Pre-sizes
+/// `out` with the exact total, so encoding appends without reallocating.
 void EncodeTupleBatch(const TupleBatch& batch, std::string* out);
 
 /// Deserializes a batch written by EncodeTupleBatch.

@@ -1,0 +1,70 @@
+#include "runtime/exec_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace dcape {
+namespace {
+
+TEST(ExecPoolTest, SingleWorkerRunsInline) {
+  ExecPool pool(1);
+  std::vector<int> order;
+  pool.ParallelFor(5, [&order](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ExecPoolTest, RunsEveryIndexExactlyOnce) {
+  ExecPool pool(4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](int i) { hits[static_cast<size_t>(i)] += 1; });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ExecPoolTest, BarrierCompletesBeforeReturn) {
+  ExecPool pool(3);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(100, [&sum](int i) { sum += i; });
+  // Every task finished by the time ParallelFor returned.
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ExecPoolTest, ReusableAcrossManyBatches) {
+  ExecPool pool(4);
+  std::atomic<int64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(7, [&total](int) { total += 1; });
+  }
+  EXPECT_EQ(total.load(), 200 * 7);
+}
+
+TEST(ExecPoolTest, EmptyAndSingleBatchesAreFine) {
+  ExecPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&calls](int) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ExecPoolTest, MoreTasksThanWorkers) {
+  ExecPool pool(2);
+  std::atomic<int> count{0};
+  pool.ParallelFor(64, [&count](int) { count += 1; });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ExecPoolTest, DestructionWithNoBatchesIsClean) {
+  // Spawn and immediately destroy: workers must not hang in their wait.
+  for (int i = 0; i < 20; ++i) {
+    ExecPool pool(4);
+  }
+}
+
+}  // namespace
+}  // namespace dcape

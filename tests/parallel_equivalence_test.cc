@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/cluster.h"
+#include "tests/test_util.h"
+
+namespace dcape {
+namespace {
+
+using testing::AllResults;
+using testing::SmallClusterConfig;
+using testing::ToMultiset;
+
+/// The tentpole guarantee of the parallel stepping path: the worker
+/// thread count is an execution detail, never a semantic one. A run with
+/// N pool workers must be bit-identical to the serial run — same results,
+/// same counters, same network traffic, same sampled series — because
+/// every send funnels through the deterministic (node id, send order)
+/// merge at each tick barrier.
+
+void ExpectIdenticalRuns(const RunResult& a, const RunResult& b,
+                         const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.runtime_results, b.runtime_results);
+  EXPECT_EQ(a.cleanup.result_count, b.cleanup.result_count);
+  EXPECT_EQ(a.tuples_generated, b.tuples_generated);
+  EXPECT_EQ(a.runtime_end, b.runtime_end);
+  EXPECT_EQ(a.spill_events, b.spill_events);
+  EXPECT_EQ(a.spilled_bytes, b.spilled_bytes);
+  EXPECT_EQ(a.coordinator.relocations_completed,
+            b.coordinator.relocations_completed);
+  EXPECT_EQ(a.coordinator.relocations_started,
+            b.coordinator.relocations_started);
+  EXPECT_EQ(a.coordinator.bytes_relocated, b.coordinator.bytes_relocated);
+  EXPECT_EQ(a.network.messages_sent, b.network.messages_sent);
+  EXPECT_EQ(a.network.bytes_sent, b.network.bytes_sent);
+  EXPECT_EQ(a.network.state_transfer_bytes, b.network.state_transfer_bytes);
+  ASSERT_EQ(a.engines.size(), b.engines.size());
+  for (size_t e = 0; e < a.engines.size(); ++e) {
+    EXPECT_EQ(a.engines[e].tuples_processed, b.engines[e].tuples_processed);
+    EXPECT_EQ(a.engines[e].results_produced, b.engines[e].results_produced);
+    EXPECT_EQ(a.engines[e].spill_events, b.engines[e].spill_events);
+    EXPECT_EQ(a.engines[e].relocations_out, b.engines[e].relocations_out);
+    EXPECT_EQ(a.engines[e].relocations_in, b.engines[e].relocations_in);
+  }
+  ASSERT_EQ(a.throughput.size(), b.throughput.size());
+  for (size_t i = 0; i < a.throughput.size(); ++i) {
+    EXPECT_EQ(a.throughput.samples()[i], b.throughput.samples()[i]);
+  }
+  ASSERT_EQ(a.engine_memory.size(), b.engine_memory.size());
+  for (size_t e = 0; e < a.engine_memory.size(); ++e) {
+    ASSERT_EQ(a.engine_memory[e].size(), b.engine_memory[e].size());
+    for (size_t i = 0; i < a.engine_memory[e].size(); ++i) {
+      EXPECT_EQ(a.engine_memory[e].samples()[i],
+                b.engine_memory[e].samples()[i]);
+    }
+  }
+  EXPECT_EQ(ToMultiset(AllResults(a)), ToMultiset(AllResults(b)));
+}
+
+TEST(ParallelEquivalenceTest, SpillRunMatchesSerial) {
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(40);
+  config.strategy = AdaptationStrategy::kSpillOnly;
+
+  config.num_threads = 1;
+  RunResult serial = Cluster(config).Run();
+  EXPECT_GT(serial.spill_events, 0);
+
+  for (int threads : {2, 4}) {
+    config.num_threads = threads;
+    RunResult parallel = Cluster(config).Run();
+    ExpectIdenticalRuns(serial, parallel,
+                        "threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelEquivalenceTest, RelocationRunMatchesSerial) {
+  // Relocations exercise the full control plane (pause, drain markers,
+  // state transfer, routing updates) across engines and split hosts.
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(60);
+  config.num_engines = 3;
+  config.strategy = AdaptationStrategy::kLazyDisk;
+  config.placement_fractions = {0.6, 0.2, 0.2};
+
+  config.num_threads = 1;
+  RunResult serial = Cluster(config).Run();
+
+  config.num_threads = 4;
+  RunResult parallel = Cluster(config).Run();
+  ExpectIdenticalRuns(serial, parallel, "lazy-disk threads=4");
+}
+
+TEST(ParallelEquivalenceTest, MultipleSplitHostsMatchSerial) {
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(40);
+  config.num_split_hosts = 3;  // one host per stream
+  config.strategy = AdaptationStrategy::kSpillOnly;
+
+  config.num_threads = 1;
+  RunResult serial = Cluster(config).Run();
+
+  config.num_threads = 3;
+  RunResult parallel = Cluster(config).Run();
+  ExpectIdenticalRuns(serial, parallel, "split-hosts=3 threads=3");
+}
+
+TEST(ParallelEquivalenceTest, OversizedPoolMatchesSerial) {
+  // More workers than nodes: the extra lanes idle, results unchanged.
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(20);
+  config.strategy = AdaptationStrategy::kActiveDisk;
+
+  config.num_threads = 1;
+  RunResult serial = Cluster(config).Run();
+
+  config.num_threads = 16;
+  RunResult parallel = Cluster(config).Run();
+  ExpectIdenticalRuns(serial, parallel, "threads=16");
+}
+
+}  // namespace
+}  // namespace dcape

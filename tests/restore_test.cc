@@ -17,6 +17,11 @@ using testing::ToMultiset;
 ClusterConfig RestoreConfig_() {
   ClusterConfig config = SmallClusterConfig();
   config.run_duration = MinutesToTicks(2);
+  // The 2-minute run emits ~12k tuples/stream; with the default 40 keys
+  // per partition each key would gather ~25 matches per stream and the
+  // 3-way cross product explodes. Widen the key domain — state size (and
+  // thus spill/restore activity) is unaffected, only match counts drop.
+  config.workload.classes[0].tuple_range = 2400;  // -> 200 keys/partition
   config.strategy = AdaptationStrategy::kSpillOnly;
   config.spill.memory_threshold_bytes = 64 * kKiB;
   config.restore.enabled = true;

@@ -44,7 +44,8 @@ int Run(const std::vector<std::string>& args) {
   }
 
   std::cout << "strategy=" << StrategyName(options.cluster.strategy)
-            << " engines=" << options.cluster.num_engines << " duration="
+            << " engines=" << options.cluster.num_engines
+            << " threads=" << options.cluster.num_threads << " duration="
             << options.cluster.run_duration / MinutesToTicks(1)
             << "min threshold="
             << FormatBytes(options.cluster.spill.memory_threshold_bytes)
