@@ -11,8 +11,10 @@
 #include <string>
 #include <vector>
 
+#include "cleanup/cleanup.h"
 #include "common/rng.h"
 #include "core/victim_policy.h"
+#include "runtime/exec_pool.h"
 #include "net/network.h"
 #include "runtime/cluster.h"
 #include "state/partition_group.h"
@@ -91,6 +93,38 @@ void BM_GroupSerialize(benchmark::State& state) {
                           static_cast<int64_t>(blob.size()));
 }
 BENCHMARK(BM_GroupSerialize)->Arg(100)->Arg(1000)->Arg(10000);
+
+/// Compact (v2) segment encoding, with the v2/v1 size ratio reported as
+/// a counter — this is the on-disk saving the format buys.
+void BM_SegmentEncodeV2(benchmark::State& state) {
+  PartitionGroup group = BuildGroup(static_cast<int>(state.range(0)), 64);
+  std::string v1;
+  group.Serialize(&v1, SegmentFormat::kV1);
+  std::string blob;
+  for (auto _ : state) {
+    blob.clear();
+    group.Serialize(&blob, SegmentFormat::kV2);
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+  state.counters["v2_v1_size_ratio"] =
+      static_cast<double>(blob.size()) / static_cast<double>(v1.size());
+}
+BENCHMARK(BM_SegmentEncodeV2)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_SegmentDecodeV2(benchmark::State& state) {
+  PartitionGroup group = BuildGroup(static_cast<int>(state.range(0)), 64);
+  std::string blob;
+  group.Serialize(&blob, SegmentFormat::kV2);
+  for (auto _ : state) {
+    StatusOr<PartitionGroup> restored = PartitionGroup::Deserialize(blob);
+    benchmark::DoNotOptimize(restored.ok());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_SegmentDecodeV2)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_GroupDeserialize(benchmark::State& state) {
   PartitionGroup group = BuildGroup(static_cast<int>(state.range(0)), 64);
@@ -241,6 +275,69 @@ void BM_ClusterTick(benchmark::State& state) {
   state.SetItemsProcessed(cluster.source().total_emitted());
 }
 BENCHMARK(BM_ClusterTick)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/// The cleanup phase end-to-end: read every spilled generation back,
+/// coalesce, and expand cross-generation combos, with the ExecPool
+/// width as the benchmark argument. items/s is cleanup results per
+/// wall second.
+void BM_CleanupPhase(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr int kPartitions = 32;
+  constexpr int kGenerations = 3;
+  constexpr int kTuplesPerGen = 40;  // per stream
+  auto build_store = [] {
+    return std::make_unique<SpillStore>(0, SpillStore::Config{},
+                                        std::make_unique<MemoryDiskBackend>());
+  };
+  auto fill = [&](SpillStore* store, StateManager* manager) {
+    for (int p = 0; p < kPartitions; ++p) {
+      for (int g = 0; g < kGenerations; ++g) {
+        PartitionGroup group(p, 3);
+        for (int i = 0; i < kTuplesPerGen; ++i) {
+          for (StreamId s = 0; s < 3; ++s) {
+            group.InsertOnly(MakeTuple(
+                s, (g * kTuplesPerGen + i),
+                static_cast<JoinKey>(p) * StreamGenerator::kKeyStride + i % 8,
+                64));
+          }
+        }
+        std::string blob;
+        group.Serialize(&blob);
+        benchmark::DoNotOptimize(
+            store->WriteSegment(p, g * 100, blob, group.tuple_count()).ok());
+      }
+      // A small in-memory remainder per partition.
+      for (StreamId s = 0; s < 3; ++s) {
+        manager->ProcessTuple(
+            p,
+            MakeTuple(s, 100000 + p,
+                      static_cast<JoinKey>(p) * StreamGenerator::kKeyStride,
+                      64),
+            nullptr);
+      }
+    }
+  };
+  CleanupConfig config;
+  config.collect_results = false;
+  CleanupProcessor processor(config, 3);
+  ExecPool pool(workers);
+  int64_t results = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto store = build_store();
+    StateManager manager(3);
+    fill(store.get(), &manager);
+    state.ResumeTiming();
+    StatusOr<CleanupStats> stats =
+        processor.Run({store.get()}, {&manager},
+                      workers > 1 ? &pool : nullptr);
+    benchmark::DoNotOptimize(stats.ok());
+    results += stats->result_count;
+  }
+  state.SetItemsProcessed(results);
+}
+BENCHMARK(BM_CleanupPhase)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_StateManagerProcess(benchmark::State& state) {
   StateManager manager(3);

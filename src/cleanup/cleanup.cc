@@ -1,12 +1,14 @@
 #include "cleanup/cleanup.h"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 #include <map>
 #include <unordered_map>
 #include <utility>
 
 #include "common/check.h"
+#include "runtime/exec_pool.h"
 #include "state/partition_group.h"
 
 namespace dcape {
@@ -65,6 +67,209 @@ Generation FromGroup(const PartitionGroup& group, EngineId home,
   return gen;
 }
 
+/// What one partition's merge contributes to the global CleanupStats.
+/// Accumulated privately per partition so the merge loop can run on any
+/// ExecPool lane, then folded into the stats in fixed partition order.
+struct PartitionOutcome {
+  EngineId home = 0;
+  /// Busy time charged to the home engine (network fetch + join CPU).
+  Tick home_ticks = 0;
+  int64_t produced = 0;
+  std::vector<JoinResult> results;
+};
+
+/// Tasks (2)+(3) of §3 for one partition: order its generations,
+/// coalesce eviction fragments, pick the cleanup home, and emit the
+/// cross-generation results. Consumes `generations`. Pure function of
+/// its inputs — partitions share nothing, which is what makes the
+/// parallel dispatch race-free.
+PartitionOutcome ProcessPartition(const CleanupConfig& config, int num_streams,
+                                  PartitionId partition,
+                                  std::vector<Generation>* generations_in) {
+  PartitionOutcome outcome;
+  std::vector<Generation>& generations = *generations_in;
+  if (generations.size() < 2) return outcome;
+  std::sort(generations.begin(), generations.end(),
+            [](const Generation& a, const Generation& b) {
+              if (a.order_time != b.order_time) {
+                return a.order_time < b.order_time;
+              }
+              if (a.home != b.home) return a.home < b.home;
+              return a.order_tiebreak < b.order_tiebreak;
+            });
+
+  // Coalesce eviction fragments into the generation that ends their
+  // logical generation: the next non-evicted generation in time order
+  // (a spill or the memory remainder). Trailing fragments with no
+  // later non-evicted generation form one unit of their own.
+  {
+    std::vector<Generation> coalesced;
+    std::vector<Generation> pending;
+    auto merge_into = [num_streams](Generation* target,
+                                    Generation&& fragment) {
+      for (int s = 0; s < num_streams; ++s) {
+        auto& dst = target->keys[static_cast<size_t>(s)];
+        for (auto& [key, refs] : fragment.keys[static_cast<size_t>(s)]) {
+          std::vector<MemberRef>& bucket = dst[key];
+          bucket.insert(bucket.end(), refs.begin(), refs.end());
+        }
+      }
+      target->bytes += fragment.bytes;
+      target->tuple_count += fragment.tuple_count;
+    };
+    for (Generation& gen : generations) {
+      if (gen.evicted) {
+        pending.push_back(std::move(gen));
+        continue;
+      }
+      for (Generation& fragment : pending) {
+        merge_into(&gen, std::move(fragment));
+      }
+      pending.clear();
+      coalesced.push_back(std::move(gen));
+    }
+    if (!pending.empty()) {
+      Generation unit = std::move(pending.front());
+      for (size_t i = 1; i < pending.size(); ++i) {
+        merge_into(&unit, std::move(pending[i]));
+      }
+      coalesced.push_back(std::move(unit));
+    }
+    generations = std::move(coalesced);
+  }
+  if (generations.size() < 2) return outcome;
+
+  // The partition's cleanup home: the engine holding most of its bytes.
+  std::map<EngineId, int64_t> bytes_at;
+  for (const Generation& gen : generations) bytes_at[gen.home] += gen.bytes;
+  EngineId home = generations.front().home;
+  int64_t best = -1;
+  for (const auto& [engine, bytes] : bytes_at) {
+    if (bytes > best) {
+      best = bytes;
+      home = engine;
+    }
+  }
+  outcome.home = home;
+  // Remote generations must travel to the home over the network.
+  for (const Generation& gen : generations) {
+    if (gen.home != home) {
+      outcome.home_ticks += (gen.bytes + config.network_bytes_per_tick - 1) /
+                            config.network_bytes_per_tick;
+    }
+  }
+
+  // Cumulative tables C per stream.
+  std::vector<std::unordered_map<JoinKey, std::vector<MemberRef>>> cumulative(
+      static_cast<size_t>(num_streams));
+
+  for (size_t g = 0; g < generations.size(); ++g) {
+    const Generation& delta = generations[g];
+    if (g > 0) {
+      // Emit Π(C∪Δ) − Π(C) − Π(Δ): every non-empty, non-full choice of
+      // "this stream's member comes from Δ".
+      const uint32_t full = (1u << num_streams) - 1;
+      for (uint32_t mask = 1; mask < full; ++mask) {
+        // Iterate keys of the smallest Δ-side stream in the mask.
+        int seed_stream = -1;
+        for (int s = 0; s < num_streams; ++s) {
+          if ((mask >> s) & 1u) {
+            if (seed_stream < 0 ||
+                delta.keys[static_cast<size_t>(s)].size() <
+                    delta.keys[static_cast<size_t>(seed_stream)].size()) {
+              seed_stream = s;
+            }
+          }
+        }
+        DCAPE_CHECK_GE(seed_stream, 0);
+        for (const auto& [key, seed_refs] :
+             delta.keys[static_cast<size_t>(seed_stream)]) {
+          // Gather the member lists per stream for this key.
+          std::vector<const std::vector<MemberRef>*> lists(
+              static_cast<size_t>(num_streams), nullptr);
+          bool all_present = true;
+          for (int s = 0; s < num_streams && all_present; ++s) {
+            const auto& source = ((mask >> s) & 1u)
+                                     ? delta.keys[static_cast<size_t>(s)]
+                                     : cumulative[static_cast<size_t>(s)];
+            auto it = source.find(key);
+            if (it == source.end() || it->second.empty()) {
+              all_present = false;
+            } else {
+              lists[static_cast<size_t>(s)] = &it->second;
+            }
+          }
+          if (!all_present) continue;
+
+          // Odometer over the m lists.
+          std::vector<size_t> cursor(static_cast<size_t>(num_streams), 0);
+          JoinResult result;
+          result.partition = partition;
+          result.join_key = key;
+          result.member_seqs.assign(static_cast<size_t>(num_streams), 0);
+          while (true) {
+            int64_t agg = 0;
+            bool first_member = true;
+            Tick min_ts = 0;
+            Tick max_ts = 0;
+            bool first_ts = true;
+            for (int s = 0; s < num_streams; ++s) {
+              const MemberRef& member =
+                  (*lists[static_cast<size_t>(s)])[cursor[
+                      static_cast<size_t>(s)]];
+              result.member_seqs[static_cast<size_t>(s)] = member.seq;
+              if (first_ts) {
+                min_ts = max_ts = member.timestamp;
+                first_ts = false;
+              } else {
+                min_ts = std::min(min_ts, member.timestamp);
+                max_ts = std::max(max_ts, member.timestamp);
+              }
+              if (config.projection.has_value()) {
+                if (s == config.projection->group_stream) {
+                  result.group_key = member.category;
+                }
+                agg = FoldAggregate(config.projection->op, agg, member.value,
+                                    first_member);
+                first_member = false;
+              }
+            }
+            if (config.window_ticks <= 0 ||
+                max_ts - min_ts <= config.window_ticks) {
+              if (config.projection.has_value()) result.agg_value = agg;
+              result.latest_member_ts = max_ts;
+              outcome.produced += 1;
+              if (config.collect_results) outcome.results.push_back(result);
+            }
+
+            int s = num_streams - 1;
+            for (; s >= 0; --s) {
+              size_t& c = cursor[static_cast<size_t>(s)];
+              if (++c < lists[static_cast<size_t>(s)]->size()) break;
+              c = 0;
+            }
+            if (s < 0) break;
+          }
+        }
+      }
+    }
+    // Merge Δ into C.
+    for (int s = 0; s < num_streams; ++s) {
+      auto& dst = cumulative[static_cast<size_t>(s)];
+      for (const auto& [key, refs] : delta.keys[static_cast<size_t>(s)]) {
+        std::vector<MemberRef>& bucket = dst[key];
+        bucket.insert(bucket.end(), refs.begin(), refs.end());
+      }
+    }
+  }
+
+  if (outcome.produced > 0) {
+    outcome.home_ticks += (outcome.produced + config.results_per_tick - 1) /
+                          config.results_per_tick;
+  }
+  return outcome;
+}
+
 }  // namespace
 
 CleanupProcessor::CleanupProcessor(const CleanupConfig& config,
@@ -79,7 +284,8 @@ CleanupProcessor::CleanupProcessor(const CleanupConfig& config,
 
 StatusOr<CleanupStats> CleanupProcessor::Run(
     const std::vector<const SpillStore*>& spill_stores,
-    const std::vector<const StateManager*>& state_managers) const {
+    const std::vector<const StateManager*>& state_managers,
+    ExecPool* pool) const {
   CleanupStats stats;
   const size_t num_engines =
       std::max(spill_stores.size(), state_managers.size());
@@ -131,189 +337,40 @@ StatusOr<CleanupStats> CleanupProcessor::Run(
   }
 
   // ---- Tasks (2)+(3): per partition, merge generations in order and
-  // emit the cross-generation results.
+  // emit the cross-generation results. Each partition is independent, so
+  // the merges dispatch across the pool; outcomes fold back into the
+  // stats in ascending-partition order (the std::map order the serial
+  // loop used), keeping stats and result ordering bit-identical for any
+  // worker count.
+  std::vector<std::pair<PartitionId, std::vector<Generation>>> work;
+  work.reserve(partitions.size());
   for (auto& [partition, generations] : partitions) {
-    if (generations.size() < 2) continue;
-    std::sort(generations.begin(), generations.end(),
-              [](const Generation& a, const Generation& b) {
-                if (a.order_time != b.order_time) {
-                  return a.order_time < b.order_time;
-                }
-                if (a.home != b.home) return a.home < b.home;
-                return a.order_tiebreak < b.order_tiebreak;
-              });
+    work.emplace_back(partition, std::move(generations));
+  }
+  std::vector<PartitionOutcome> outcomes(work.size());
+  const auto process = [&](int i) {
+    outcomes[static_cast<size_t>(i)] =
+        ProcessPartition(config_, num_streams_,
+                         work[static_cast<size_t>(i)].first,
+                         &work[static_cast<size_t>(i)].second);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<int>(work.size()), process);
+  } else {
+    for (int i = 0; i < static_cast<int>(work.size()); ++i) process(i);
+  }
 
-    // Coalesce eviction fragments into the generation that ends their
-    // logical generation: the next non-evicted generation in time order
-    // (a spill or the memory remainder). Trailing fragments with no
-    // later non-evicted generation form one unit of their own.
-    {
-      std::vector<Generation> coalesced;
-      std::vector<Generation> pending;
-      auto merge_into = [this](Generation* target, Generation&& fragment) {
-        for (int s = 0; s < num_streams_; ++s) {
-          auto& dst = target->keys[static_cast<size_t>(s)];
-          for (auto& [key, refs] : fragment.keys[static_cast<size_t>(s)]) {
-            std::vector<MemberRef>& bucket = dst[key];
-            bucket.insert(bucket.end(), refs.begin(), refs.end());
-          }
-        }
-        target->bytes += fragment.bytes;
-        target->tuple_count += fragment.tuple_count;
-      };
-      for (Generation& gen : generations) {
-        if (gen.evicted) {
-          pending.push_back(std::move(gen));
-          continue;
-        }
-        for (Generation& fragment : pending) {
-          merge_into(&gen, std::move(fragment));
-        }
-        pending.clear();
-        coalesced.push_back(std::move(gen));
-      }
-      if (!pending.empty()) {
-        Generation unit = std::move(pending.front());
-        for (size_t i = 1; i < pending.size(); ++i) {
-          merge_into(&unit, std::move(pending[i]));
-        }
-        coalesced.push_back(std::move(unit));
-      }
-      generations = std::move(coalesced);
+  for (PartitionOutcome& outcome : outcomes) {
+    if (outcome.home_ticks > 0) {
+      stats.engine_ticks[static_cast<size_t>(outcome.home)] +=
+          outcome.home_ticks;
     }
-    if (generations.size() < 2) continue;
-
-    // The partition's cleanup home: the engine holding most of its bytes.
-    std::map<EngineId, int64_t> bytes_at;
-    for (const Generation& gen : generations) bytes_at[gen.home] += gen.bytes;
-    EngineId home = generations.front().home;
-    int64_t best = -1;
-    for (const auto& [engine, bytes] : bytes_at) {
-      if (bytes > best) {
-        best = bytes;
-        home = engine;
-      }
-    }
-    // Remote generations must travel to the home over the network.
-    for (const Generation& gen : generations) {
-      if (gen.home != home) {
-        stats.engine_ticks[static_cast<size_t>(home)] +=
-            (gen.bytes + config_.network_bytes_per_tick - 1) /
-            config_.network_bytes_per_tick;
-      }
-    }
-
-    // Cumulative tables C per stream.
-    std::vector<std::unordered_map<JoinKey, std::vector<MemberRef>>>
-        cumulative(static_cast<size_t>(num_streams_));
-    int64_t produced_here = 0;
-
-    for (size_t g = 0; g < generations.size(); ++g) {
-      const Generation& delta = generations[g];
-      if (g > 0) {
-        // Emit Π(C∪Δ) − Π(C) − Π(Δ): every non-empty, non-full choice of
-        // "this stream's member comes from Δ".
-        const uint32_t full = (1u << num_streams_) - 1;
-        for (uint32_t mask = 1; mask < full; ++mask) {
-          // Iterate keys of the smallest Δ-side stream in the mask.
-          int seed_stream = -1;
-          for (int s = 0; s < num_streams_; ++s) {
-            if ((mask >> s) & 1u) {
-              if (seed_stream < 0 ||
-                  delta.keys[static_cast<size_t>(s)].size() <
-                      delta.keys[static_cast<size_t>(seed_stream)].size()) {
-                seed_stream = s;
-              }
-            }
-          }
-          DCAPE_CHECK_GE(seed_stream, 0);
-          for (const auto& [key, seed_refs] :
-               delta.keys[static_cast<size_t>(seed_stream)]) {
-            // Gather the member lists per stream for this key.
-            std::vector<const std::vector<MemberRef>*> lists(
-                static_cast<size_t>(num_streams_), nullptr);
-            bool all_present = true;
-            for (int s = 0; s < num_streams_ && all_present; ++s) {
-              const auto& source = ((mask >> s) & 1u)
-                                       ? delta.keys[static_cast<size_t>(s)]
-                                       : cumulative[static_cast<size_t>(s)];
-              auto it = source.find(key);
-              if (it == source.end() || it->second.empty()) {
-                all_present = false;
-              } else {
-                lists[static_cast<size_t>(s)] = &it->second;
-              }
-            }
-            if (!all_present) continue;
-
-            // Odometer over the m lists.
-            std::vector<size_t> cursor(static_cast<size_t>(num_streams_), 0);
-            JoinResult result;
-            result.partition = partition;
-            result.join_key = key;
-            result.member_seqs.assign(static_cast<size_t>(num_streams_), 0);
-            while (true) {
-              int64_t agg = 0;
-              bool first_member = true;
-              Tick min_ts = 0;
-              Tick max_ts = 0;
-              bool first_ts = true;
-              for (int s = 0; s < num_streams_; ++s) {
-                const MemberRef& member =
-                    (*lists[static_cast<size_t>(s)])[cursor[
-                        static_cast<size_t>(s)]];
-                result.member_seqs[static_cast<size_t>(s)] = member.seq;
-                if (first_ts) {
-                  min_ts = max_ts = member.timestamp;
-                  first_ts = false;
-                } else {
-                  min_ts = std::min(min_ts, member.timestamp);
-                  max_ts = std::max(max_ts, member.timestamp);
-                }
-                if (config_.projection.has_value()) {
-                  if (s == config_.projection->group_stream) {
-                    result.group_key = member.category;
-                  }
-                  agg = FoldAggregate(config_.projection->op, agg,
-                                      member.value, first_member);
-                  first_member = false;
-                }
-              }
-              if (config_.window_ticks <= 0 ||
-                  max_ts - min_ts <= config_.window_ticks) {
-                if (config_.projection.has_value()) result.agg_value = agg;
-                result.latest_member_ts = max_ts;
-                stats.result_count += 1;
-                produced_here += 1;
-                if (config_.collect_results) stats.results.push_back(result);
-              }
-
-              int s = num_streams_ - 1;
-              for (; s >= 0; --s) {
-                size_t& c = cursor[static_cast<size_t>(s)];
-                if (++c < lists[static_cast<size_t>(s)]->size()) break;
-                c = 0;
-              }
-              if (s < 0) break;
-            }
-          }
-        }
-      }
-      // Merge Δ into C.
-      for (int s = 0; s < num_streams_; ++s) {
-        auto& dst = cumulative[static_cast<size_t>(s)];
-        for (const auto& [key, refs] : delta.keys[static_cast<size_t>(s)]) {
-          std::vector<MemberRef>& bucket = dst[key];
-          bucket.insert(bucket.end(), refs.begin(), refs.end());
-        }
-      }
-    }
-
-    if (produced_here > 0) {
-      stats.partitions_cleaned += 1;
-      stats.engine_ticks[static_cast<size_t>(home)] +=
-          (produced_here + config_.results_per_tick - 1) /
-          config_.results_per_tick;
+    stats.result_count += outcome.produced;
+    if (outcome.produced > 0) stats.partitions_cleaned += 1;
+    if (config_.collect_results) {
+      stats.results.insert(stats.results.end(),
+                           std::make_move_iterator(outcome.results.begin()),
+                           std::make_move_iterator(outcome.results.end()));
     }
   }
 

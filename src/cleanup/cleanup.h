@@ -15,6 +15,8 @@
 
 namespace dcape {
 
+class ExecPool;
+
 /// Cost model and options for the cleanup phase.
 struct CleanupConfig {
   /// Post-join projection; must match the runtime engines' projection so
@@ -70,9 +72,16 @@ class CleanupProcessor {
   /// Runs cleanup over every engine's spill store and memory remainder.
   /// `spill_stores[e]` / `state_managers[e]` belong to engine e; null
   /// entries are allowed (engine without disk or already-drained state).
+  ///
+  /// With `pool`, the per-partition merge loop is distributed over the
+  /// pool's lanes. Partitions are independent (each owns its
+  /// generations), and per-partition outcomes are merged back in fixed
+  /// partition order, so CleanupStats and the result vector are
+  /// bit-identical to the serial run for any worker count.
   StatusOr<CleanupStats> Run(
       const std::vector<const SpillStore*>& spill_stores,
-      const std::vector<const StateManager*>& state_managers) const;
+      const std::vector<const StateManager*>& state_managers,
+      ExecPool* pool = nullptr) const;
 
  private:
   CleanupConfig config_;

@@ -13,12 +13,14 @@ namespace dcape {
 
 QueryEngine::QueryEngine(const EngineConfig& config, Network* network,
                          const SpillStore::Config& disk_config,
-                         std::unique_ptr<DiskBackend> disk_backend)
+                         std::unique_ptr<DiskBackend> disk_backend,
+                         IoExecutor* io_executor)
     : config_(config),
       network_(network),
-      spill_store_(config.engine_id, disk_config, std::move(disk_backend)),
+      spill_store_(config.engine_id, disk_config, std::move(disk_backend),
+                   io_executor),
       mjoin_(config.num_streams, &spill_store_, config.projection,
-             config.window_ticks),
+             config.window_ticks, config.segment_format),
       controller_(config.spill, config.productivity, config.seed),
       stats_timer_(config.stats_period),
       restore_timer_(config.restore.check_period),
@@ -122,12 +124,14 @@ void QueryEngine::OnMessage(Tick now, const Message& message) {
       const auto& cmd = std::get<ForceSpill>(message.payload);
       std::vector<PartitionId> victims = controller_.ChooseForcedSpillVictims(
           mjoin_.state(), cmd.amount_bytes);
-      const int64_t before = spill_store_.total_spilled_bytes();
+      // Report raw (in-memory) state bytes removed, not the encoded
+      // on-disk size: the coordinator asked for `amount_bytes` of state.
+      const int64_t before = spill_store_.total_raw_bytes();
       if (!victims.empty()) DoSpill(now, victims, /*forced=*/true);
 
       SpillComplete done;
       done.engine = config_.engine_id;
-      done.bytes_spilled = spill_store_.total_spilled_bytes() - before;
+      done.bytes_spilled = spill_store_.total_raw_bytes() - before;
       Message msg;
       msg.type = MessageType::kSpillComplete;
       msg.from = config_.node_id;
@@ -217,7 +221,7 @@ void QueryEngine::EvictExpired(Tick now) {
     }
     StatusOr<Tick> io = spill_store_.WriteSegment(
         group.partition, now, group.blob, group.tuple_count,
-        /*evicted=*/true);
+        /*evicted=*/true, group.raw_bytes);
     DCAPE_CHECK(io.ok());
     busy_until_ = std::max(busy_until_, now) + *io;
     counters_.eviction_segments += 1;

@@ -57,6 +57,8 @@ struct EngineConfig {
   Tick stats_period = SecondsToTicks(5);
   /// Optional post-join projection (group key + aggregate input).
   std::optional<ResultProjection> projection;
+  /// Encoding for spilled / relocated partition groups (tuple/serde.h).
+  SegmentFormat segment_format = SegmentFormat::kV2;
   uint64_t seed = 1;
 };
 
@@ -92,9 +94,13 @@ class QueryEngine {
     int64_t eviction_segments = 0;
   };
 
+  /// `io_executor` (optional, unowned, shareable across engines) makes
+  /// the spill store's backend writes asynchronous; it must outlive the
+  /// engine. Virtual-time accounting is identical with or without it.
   QueryEngine(const EngineConfig& config, Network* network,
               const SpillStore::Config& disk_config,
-              std::unique_ptr<DiskBackend> disk_backend);
+              std::unique_ptr<DiskBackend> disk_backend,
+              IoExecutor* io_executor = nullptr);
 
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;

@@ -145,7 +145,9 @@ struct ForceSpill {
   int64_t amount_bytes = 0;
 };
 
-/// Reply to ForceSpill.
+/// Reply to ForceSpill. `bytes_spilled` counts raw in-memory state
+/// bytes removed (the unit ForceSpill::amount_bytes is expressed in),
+/// independent of how compactly segments are encoded on disk.
 struct SpillComplete {
   EngineId engine = 0;
   int64_t bytes_spilled = 0;

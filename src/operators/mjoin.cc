@@ -21,7 +21,8 @@ StatusOr<MJoin::SpillOutcome> MJoin::SpillPartitions(
     DCAPE_ASSIGN_OR_RETURN(
         Tick io_ticks,
         spill_store_->WriteSegment(group.partition, now, group.blob,
-                                   group.tuple_count));
+                                   group.tuple_count, /*evicted=*/false,
+                                   group.raw_bytes));
     outcome.bytes += group.bytes;
     outcome.tuples += group.tuple_count;
     outcome.groups += 1;

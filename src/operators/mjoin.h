@@ -32,8 +32,9 @@ class MJoin {
   /// (group_key, agg_value) from its member tuples.
   MJoin(int num_streams, SpillStore* spill_store,
         std::optional<ResultProjection> projection = std::nullopt,
-        Tick window_ticks = 0)
-      : state_(num_streams, projection, window_ticks),
+        Tick window_ticks = 0,
+        SegmentFormat segment_format = SegmentFormat::kV2)
+      : state_(num_streams, projection, window_ticks, segment_format),
         spill_store_(spill_store) {}
 
   MJoin(const MJoin&) = delete;

@@ -42,6 +42,9 @@ Cluster::Cluster(const ClusterConfig& config)
   }
 
   // Query engines.
+  if (config_.async_spill_io) {
+    io_executor_ = std::make_unique<IoExecutor>();
+  }
   for (EngineId e = 0; e < config_.num_engines; ++e) {
     EngineConfig engine_config;
     engine_config.engine_id = e;
@@ -63,6 +66,7 @@ Cluster::Cluster(const ClusterConfig& config)
     }
     engine_config.stats_period = config_.stats_period;
     engine_config.projection = config_.projection;
+    engine_config.segment_format = config_.segment_format;
     engine_config.seed = config_.seed + 1000 + static_cast<uint64_t>(e);
 
     std::unique_ptr<DiskBackend> backend;
@@ -73,7 +77,8 @@ Cluster::Cluster(const ClusterConfig& config)
       backend = std::make_unique<MemoryDiskBackend>();
     }
     engines_.push_back(std::make_unique<QueryEngine>(
-        engine_config, &network_, config_.disk, std::move(backend)));
+        engine_config, &network_, config_.disk, std::move(backend),
+        io_executor_.get()));
   }
 
   // Global coordinator.
@@ -278,7 +283,7 @@ StatusOr<CleanupStats> Cluster::RunCleanup() {
     states.push_back(&engine->mjoin().state());
   }
   CleanupProcessor processor(config_.cleanup, config_.workload.num_streams);
-  return processor.Run(stores, states);
+  return processor.Run(stores, states, &pool_);
 }
 
 RunResult Cluster::Collect() {
@@ -291,12 +296,29 @@ RunResult Cluster::Collect() {
   result.runtime_end = clock_.now();
   result.coordinator = coordinator_->counters();
   result.network = network_.stats();
+  const int64_t queue_high_water =
+      io_executor_ != nullptr ? io_executor_->queue_high_water() : 0;
   for (auto& engine : engines_) {
     result.engines.push_back(engine->counters());
     result.spilled_bytes += engine->counters().spilled_bytes;
     result.spill_events += engine->counters().spill_events +
                            engine->counters().forced_spill_events;
+    const SpillStore& store = engine->spill_store();
+    StorageCounters storage;
+    storage.segments_written = store.segments_written();
+    storage.segments_resident = store.segment_count();
+    storage.resident_bytes = store.resident_bytes();
+    storage.encoded_bytes = store.total_spilled_bytes();
+    storage.raw_bytes = store.total_raw_bytes();
+    storage.io_queue_high_water = queue_high_water;
+    result.engine_storage.push_back(storage);
+    result.storage.segments_written += storage.segments_written;
+    result.storage.segments_resident += storage.segments_resident;
+    result.storage.resident_bytes += storage.resident_bytes;
+    result.storage.encoded_bytes += storage.encoded_bytes;
+    result.storage.raw_bytes += storage.raw_bytes;
   }
+  result.storage.io_queue_high_water = queue_high_water;
   if (config_.collect_results) {
     result.collected = sink_.collected();
   }

@@ -121,6 +121,10 @@ class Cluster {
   ExecPool pool_;
   Network network_;
   std::vector<EngineId> placement_;
+  /// Background spill-write thread (config_.async_spill_io). Declared
+  /// before engines_ so it outlives them: each engine's SpillStore
+  /// drains its queued writes on destruction.
+  std::unique_ptr<IoExecutor> io_executor_;
   std::vector<std::unique_ptr<QueryEngine>> engines_;
   std::unique_ptr<GlobalCoordinator> coordinator_;
   std::unique_ptr<GeneratorNode> generator_;

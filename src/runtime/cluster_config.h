@@ -17,6 +17,7 @@
 #include "storage/spill_store.h"
 #include "stream/workload.h"
 #include "tuple/projection.h"
+#include "tuple/serde.h"
 
 namespace dcape {
 
@@ -86,6 +87,15 @@ struct ClusterConfig {
   /// backend.
   bool use_file_backend = false;
   std::string file_backend_prefix = "dcape_spill";
+  /// Encoding for spilled / relocated partition groups (tuple/serde.h).
+  /// v2 (default) is the compact format; decoders sniff, so either
+  /// format reads blobs written by the other.
+  SegmentFormat segment_format = SegmentFormat::kV2;
+  /// Perform the spill stores' real backend writes on a background I/O
+  /// thread shared by all engines. Virtual-clock accounting — and thus
+  /// every result and counter — is identical with this on or off; only
+  /// wall-clock changes.
+  bool async_spill_io = false;
 
   /// Length of the run-time phase.
   Tick run_duration = MinutesToTicks(40);

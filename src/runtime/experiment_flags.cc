@@ -84,6 +84,14 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
       config.restore.enabled = true;
       continue;
     }
+    if (view == "--async-io") {
+      config.async_spill_io = true;
+      continue;
+    }
+    if (view == "--file-backend") {
+      config.use_file_backend = true;
+      continue;
+    }
     if (view.substr(0, 2) != "--" || view.find('=') == std::string_view::npos) {
       return Status::InvalidArgument("unrecognized argument '" + arg +
                                      "' (expected --key=value; see --help)");
@@ -207,6 +215,15 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
       if (v < 0) return Status::InvalidArgument("--window-sec must be >= 0");
       config.join_window_ticks = SecondsToTicks(v);
+    } else if (key == "--segment-format") {
+      if (value == "v1") {
+        config.segment_format = SegmentFormat::kV1;
+      } else if (value == "v2") {
+        config.segment_format = SegmentFormat::kV2;
+      } else {
+        return Status::InvalidArgument(
+            "--segment-format must be v1 or v2");
+      }
     } else if (key == "--csv") {
       options.csv_path = std::string(value);
     } else if (key == "--record-trace") {
@@ -270,8 +287,15 @@ adaptation:
   --restore              enable online state restore
   --window-sec=N         sliding-window join semantics (0 = unbounded)
 
+storage:
+  --segment-format=F     spill/relocation encoding: v1 | v2       [v2]
+  --file-backend         spill to real files under a temp dir
+  --async-io             background thread for real spill writes
+                         (virtual-time results are identical)
+
 output:
   --csv=PATH             write throughput/memory series as CSV
+                         (also PATH-derived .storage.csv counters)
   --record-trace=PATH    record the generated input as a trace
   --replay-trace=PATH    replay a recorded trace instead
   --quiet                summary only, no tables

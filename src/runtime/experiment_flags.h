@@ -46,6 +46,7 @@ struct ExperimentOptions {
 ///   --lambda=F [2]            --productivity=cumulative|ewma
 ///   --ewma-alpha=F [0.5]      --restore (enable online restore)
 ///   --fluctuation             --phase-min=N [5]  --hot-mult=F [10]
+///   --segment-format=v1|v2 [v2]  --file-backend  --async-io
 ///   --csv=PATH  --record-trace=PATH  --replay-trace=PATH
 ///   --quiet (no tables)       --verbose (narrate adaptations)
 StatusOr<ExperimentOptions> ParseExperimentFlags(

@@ -1,8 +1,21 @@
 #include "runtime/run_result.h"
 
+#include <sstream>
+
 #include "common/units.h"
 
 namespace dcape {
+namespace {
+
+void StorageCsvRow(std::ostream& os, const std::string& label,
+                   const StorageCounters& c) {
+  os << label << ',' << c.segments_written << ',' << c.segments_resident
+     << ',' << c.resident_bytes << ',' << c.encoded_bytes << ','
+     << c.raw_bytes << ',' << c.CompressionRatio() << ','
+     << c.io_queue_high_water << '\n';
+}
+
+}  // namespace
 
 void RunResult::PrintSummary(std::ostream& os) const {
   os << "runtime results: " << runtime_results
@@ -15,6 +28,26 @@ void RunResult::PrintSummary(std::ostream& os) const {
      << FormatBytes(spilled_bytes) << ")"
      << " | forced spills: " << coordinator.forced_spills
      << " | cleanup time: " << cleanup.total_ticks / 1000.0 << " s\n";
+  if (storage.segments_written > 0) {
+    os << "storage: " << storage.segments_written << " segments ("
+       << FormatBytes(storage.encoded_bytes) << " encoded / "
+       << FormatBytes(storage.raw_bytes) << " raw, ratio "
+       << storage.CompressionRatio() << "), resident "
+       << storage.segments_resident << " segments ("
+       << FormatBytes(storage.resident_bytes) << ")"
+       << " | io queue high-water: " << storage.io_queue_high_water << "\n";
+  }
+}
+
+std::string RunResult::StorageCsv() const {
+  std::ostringstream os;
+  os << "engine,segments_written,segments_resident,resident_bytes,"
+        "encoded_bytes,raw_bytes,compression_ratio,io_queue_high_water\n";
+  for (size_t e = 0; e < engine_storage.size(); ++e) {
+    StorageCsvRow(os, "engine" + std::to_string(e), engine_storage[e]);
+  }
+  StorageCsvRow(os, "total", storage);
+  return os.str();
 }
 
 }  // namespace dcape

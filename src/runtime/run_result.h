@@ -15,6 +15,34 @@
 
 namespace dcape {
 
+/// Storage-plane counters for one engine's spill area (plus a cluster
+/// aggregate). Encoded vs raw bytes show what the compact segment format
+/// saves; the queue high-water mark is wall-clock-dependent
+/// observability (never compare it across runs).
+struct StorageCounters {
+  /// Cumulative segments written (spills + eviction generations).
+  int64_t segments_written = 0;
+  /// Segments still on disk at collection time.
+  int64_t segments_resident = 0;
+  /// Encoded bytes still on disk at collection time.
+  int64_t resident_bytes = 0;
+  /// Cumulative encoded (on-disk) bytes written.
+  int64_t encoded_bytes = 0;
+  /// Cumulative raw (v1 fixed-width equivalent) bytes of the same state.
+  int64_t raw_bytes = 0;
+  /// Deepest the shared async write queue got (0 without async I/O;
+  /// cluster-wide value, repeated per engine).
+  int64_t io_queue_high_water = 0;
+
+  /// encoded/raw; 1.0 when nothing was written.
+  double CompressionRatio() const {
+    return raw_bytes > 0
+               ? static_cast<double>(encoded_bytes) /
+                     static_cast<double>(raw_bytes)
+               : 1.0;
+  }
+};
+
 /// Everything measured over one experiment run.
 struct RunResult {
   /// Cumulative results received at the application server, sampled on
@@ -37,6 +65,10 @@ struct RunResult {
 
   GlobalCoordinator::Counters coordinator;
   std::vector<QueryEngine::Counters> engines;
+  /// Per-engine spill-area counters, same order as `engines`.
+  std::vector<StorageCounters> engine_storage;
+  /// Sum over `engine_storage` (max for the high-water mark).
+  StorageCounters storage;
   Network::Stats network;
 
   /// Total bytes spilled across engines.
@@ -55,6 +87,10 @@ struct RunResult {
 
   /// One-paragraph human-readable summary for benches/examples.
   void PrintSummary(std::ostream& os) const;
+
+  /// Storage-plane counters as CSV: one row per engine plus a "total"
+  /// row (dcape_run writes this next to the series CSV).
+  std::string StorageCsv() const;
 };
 
 }  // namespace dcape

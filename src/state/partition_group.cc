@@ -1,12 +1,21 @@
 #include "state/partition_group.h"
 
 #include <algorithm>
+#include <cstring>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
 #include "tuple/serde.h"
 
 namespace dcape {
+namespace {
+
+/// v2 partition-group magic. Read as the leading v1 field (i32 partition
+/// id, little endian) it is negative, which no v1 encoder ever produces.
+constexpr char kGroupMagic[4] = {0x44, 0x43, 0x50, static_cast<char>(0xB2)};
+
+}  // namespace
 
 PartitionGroup::PartitionGroup(PartitionId partition, int num_streams)
     : partition_(partition), num_streams_(num_streams) {
@@ -168,35 +177,65 @@ void PartitionGroup::MergeFrom(PartitionGroup&& other) {
 }
 
 int64_t PartitionGroup::SerializedByteSize() const {
-  // Header (partition i32 + num_streams i32 + outputs i64), one i64
-  // tuple count per stream, then the tuples; bytes_ tracks exactly the
-  // tuples' serialized size (Tuple::ByteSize == TupleSerializedSize).
+  // v1 layout: header (partition i32 + num_streams i32 + outputs i64),
+  // one i64 tuple count per stream, then the tuples; bytes_ tracks
+  // exactly the tuples' raw serialized size (Tuple::ByteSize ==
+  // TupleSerializedSize).
   return 16 + 8 * static_cast<int64_t>(num_streams_) + bytes_;
 }
 
-void PartitionGroup::Serialize(std::string* out) const {
+void PartitionGroup::Serialize(std::string* out, SegmentFormat format) const {
   out->reserve(out->size() + static_cast<size_t>(SerializedByteSize()));
   ByteWriter writer(out);
-  writer.PutI32(partition_);
-  writer.PutI32(num_streams_);
-  writer.PutI64(outputs_);
+  if (format == SegmentFormat::kV1) {
+    writer.PutI32(partition_);
+    writer.PutI32(num_streams_);
+    writer.PutI64(outputs_);
+    for (int s = 0; s < num_streams_; ++s) {
+      const auto& table = tables_[static_cast<size_t>(s)];
+      int64_t stream_tuples = 0;
+      for (const auto& [key, tuples] : table) {
+        stream_tuples += static_cast<int64_t>(tuples.size());
+      }
+      writer.PutI64(stream_tuples);
+      for (const auto& [key, tuples] : table) {
+        for (const Tuple& t : tuples) EncodeTuple(t, out);
+      }
+    }
+    return;
+  }
+  // v2: the stream id is implied by the section and the join key is
+  // written once per bucket run; seq and timestamp delta-encode within
+  // the run (arrival order makes the deltas small non-negative values).
+  out->append(kGroupMagic, 4);
+  writer.PutU8(static_cast<uint8_t>(SegmentFormat::kV2));
+  writer.PutVarint(static_cast<uint64_t>(partition_));
+  writer.PutVarint(static_cast<uint64_t>(num_streams_));
+  writer.PutZigzag(outputs_);
   for (int s = 0; s < num_streams_; ++s) {
     const auto& table = tables_[static_cast<size_t>(s)];
-    int64_t stream_tuples = 0;
+    writer.PutVarint(table.size());
     for (const auto& [key, tuples] : table) {
-      stream_tuples += static_cast<int64_t>(tuples.size());
-    }
-    writer.PutI64(stream_tuples);
-    for (const auto& [key, tuples] : table) {
-      for (const Tuple& t : tuples) EncodeTuple(t, out);
+      writer.PutZigzag(key);
+      writer.PutVarint(tuples.size());
+      int64_t prev_seq = 0;
+      Tick prev_ts = 0;
+      for (const Tuple& t : tuples) {
+        writer.PutZigzag(t.seq - prev_seq);
+        writer.PutZigzag(t.timestamp - prev_ts);
+        writer.PutZigzag(t.value);
+        writer.PutZigzag(t.category);
+        writer.PutVString(t.payload);
+        prev_seq = t.seq;
+        prev_ts = t.timestamp;
+      }
     }
   }
 }
 
-StatusOr<PartitionGroup> PartitionGroup::Deserialize(std::string_view data) {
-  ByteReader reader(data);
-  DCAPE_ASSIGN_OR_RETURN(int32_t partition, reader.GetI32());
-  DCAPE_ASSIGN_OR_RETURN(int32_t num_streams, reader.GetI32());
+namespace {
+
+StatusOr<int32_t> CheckedStreamCount(int64_t num_streams) {
   // Bound the stream count before allocating tables: adversarial or
   // corrupt input must fail with a Status, not exhaust memory.
   if (num_streams < 2 || num_streams > 1024) {
@@ -204,6 +243,70 @@ StatusOr<PartitionGroup> PartitionGroup::Deserialize(std::string_view data) {
         "partition group stream count out of range: " +
         std::to_string(num_streams));
   }
+  return static_cast<int32_t>(num_streams);
+}
+
+}  // namespace
+
+StatusOr<PartitionGroup> PartitionGroup::Deserialize(std::string_view data) {
+  if (data.size() >= 4 && std::memcmp(data.data(), kGroupMagic, 4) == 0) {
+    ByteReader reader(data.substr(4));
+    DCAPE_ASSIGN_OR_RETURN(uint8_t version, reader.GetU8());
+    if (version != static_cast<uint8_t>(SegmentFormat::kV2)) {
+      return Status::InvalidArgument("unsupported partition group version " +
+                                     std::to_string(version));
+    }
+    DCAPE_ASSIGN_OR_RETURN(uint64_t partition, reader.GetVarint());
+    if (partition > static_cast<uint64_t>(
+                        std::numeric_limits<int32_t>::max())) {
+      return Status::InvalidArgument("partition id out of range");
+    }
+    DCAPE_ASSIGN_OR_RETURN(uint64_t raw_streams, reader.GetVarint());
+    DCAPE_ASSIGN_OR_RETURN(
+        int32_t num_streams,
+        CheckedStreamCount(static_cast<int64_t>(raw_streams)));
+    PartitionGroup group(static_cast<PartitionId>(partition), num_streams);
+    DCAPE_ASSIGN_OR_RETURN(group.outputs_, reader.GetZigzag());
+    for (int s = 0; s < num_streams; ++s) {
+      DCAPE_ASSIGN_OR_RETURN(uint64_t num_keys, reader.GetVarint());
+      if (num_keys > data.size()) {
+        return Status::InvalidArgument("key count exceeds input size");
+      }
+      for (uint64_t k = 0; k < num_keys; ++k) {
+        DCAPE_ASSIGN_OR_RETURN(JoinKey key, reader.GetZigzag());
+        DCAPE_ASSIGN_OR_RETURN(uint64_t run_length, reader.GetVarint());
+        if (run_length > data.size()) {
+          return Status::InvalidArgument("run length exceeds input size");
+        }
+        int64_t prev_seq = 0;
+        Tick prev_ts = 0;
+        for (uint64_t i = 0; i < run_length; ++i) {
+          Tuple t;
+          t.stream_id = s;
+          t.join_key = key;
+          DCAPE_ASSIGN_OR_RETURN(int64_t seq_delta, reader.GetZigzag());
+          t.seq = prev_seq + seq_delta;
+          DCAPE_ASSIGN_OR_RETURN(Tick ts_delta, reader.GetZigzag());
+          t.timestamp = prev_ts + ts_delta;
+          DCAPE_ASSIGN_OR_RETURN(t.value, reader.GetZigzag());
+          DCAPE_ASSIGN_OR_RETURN(t.category, reader.GetZigzag());
+          DCAPE_ASSIGN_OR_RETURN(t.payload, reader.GetVString());
+          prev_seq = t.seq;
+          prev_ts = t.timestamp;
+          group.InsertOnly(std::move(t));
+        }
+      }
+    }
+    if (!reader.exhausted()) {
+      return Status::InvalidArgument("trailing bytes after partition group");
+    }
+    return group;
+  }
+
+  ByteReader reader(data);
+  DCAPE_ASSIGN_OR_RETURN(int32_t partition, reader.GetI32());
+  DCAPE_ASSIGN_OR_RETURN(int32_t raw_streams, reader.GetI32());
+  DCAPE_ASSIGN_OR_RETURN(int32_t num_streams, CheckedStreamCount(raw_streams));
   PartitionGroup group(partition, num_streams);
   DCAPE_ASSIGN_OR_RETURN(group.outputs_, reader.GetI64());
   for (int s = 0; s < num_streams; ++s) {

@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "common/virtual_clock.h"
 #include "tuple/projection.h"
+#include "tuple/serde.h"
 #include "tuple/tuple.h"
 
 namespace dcape {
@@ -74,15 +75,24 @@ class PartitionGroup {
   /// prevents this).
   void MergeFrom(PartitionGroup&& other);
 
-  /// Exact number of bytes Serialize appends. O(1): the tracked byte
-  /// accounting already equals the tuples' serialized size.
+  /// Exact number of bytes the v1 fixed-width Serialize appends. O(1):
+  /// the tracked byte accounting already equals the tuples' raw
+  /// serialized size. For v2 this is the reserve estimate and the "raw
+  /// bytes" figure the storage counters compare the compact encoding
+  /// against.
   int64_t SerializedByteSize() const;
 
   /// Serializes the full group (counters + all tuples) for spilling or
-  /// relocation. Appends to `out`, pre-sizing it by SerializedByteSize().
-  void Serialize(std::string* out) const;
+  /// relocation. Appends to `out`. v2 (default) is the compact segment
+  /// format: varint/zigzag fields, one key header per bucket run instead
+  /// of per tuple, and per-run delta-encoded seq/timestamps. v1 is the
+  /// original fixed-width layout, kept for compatibility benchmarking.
+  void Serialize(std::string* out,
+                 SegmentFormat format = SegmentFormat::kV2) const;
 
-  /// Reconstructs a group from Serialize output.
+  /// Reconstructs a group from Serialize output of either format (the
+  /// version is sniffed: the v2 magic decodes as a negative v1 partition
+  /// id, which no v1 encoder produces).
   static StatusOr<PartitionGroup> Deserialize(std::string_view data);
 
   /// The tuples of one input stream, grouped by join key. Exposed for the

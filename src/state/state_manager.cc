@@ -8,10 +8,11 @@ namespace dcape {
 
 StateManager::StateManager(int num_streams,
                            std::optional<ResultProjection> projection,
-                           Tick window_ticks)
+                           Tick window_ticks, SegmentFormat segment_format)
     : num_streams_(num_streams),
       projection_(projection),
-      window_ticks_(window_ticks) {
+      window_ticks_(window_ticks),
+      segment_format_(segment_format) {
   DCAPE_CHECK_GE(num_streams, 2);
   if (projection_.has_value()) {
     DCAPE_CHECK_GE(projection_->group_stream, 0);
@@ -50,9 +51,9 @@ std::vector<StateManager::ExtractedGroup> StateManager::ExtractGroups(
     ExtractedGroup out;
     out.partition = partition;
     out.bytes = group.bytes();
+    out.raw_bytes = group.SerializedByteSize();
     out.tuple_count = group.tuple_count();
-    out.blob.reserve(static_cast<size_t>(group.SerializedByteSize()));
-    group.Serialize(&out.blob);
+    group.Serialize(&out.blob, segment_format_);
     total_bytes_ -= group.bytes();
     total_tuples_ -= group.tuple_count();
     groups_.erase(it);
@@ -94,9 +95,9 @@ std::vector<StateManager::ExtractedGroup> StateManager::EvictExpired(
     ExtractedGroup out;
     out.partition = partition;
     out.bytes = expired.bytes();
+    out.raw_bytes = expired.SerializedByteSize();
     out.tuple_count = expired.tuple_count();
-    out.blob.reserve(static_cast<size_t>(expired.SerializedByteSize()));
-    expired.Serialize(&out.blob);
+    expired.Serialize(&out.blob, segment_format_);
     evicted.push_back(std::move(out));
     if (group->empty()) emptied.push_back(partition);
   }

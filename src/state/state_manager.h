@@ -30,10 +30,13 @@ class StateManager {
   /// agg_value) from its member tuples — the query's post-join SELECT.
   /// `window_ticks > 0` enables sliding-window join semantics: only
   /// member combinations whose timestamps span at most the window join.
+  /// `segment_format` selects the encoding ExtractGroups / EvictExpired
+  /// emit (InstallGroup sniffs, so mixed-format clusters interoperate).
   explicit StateManager(
       int num_streams,
       std::optional<ResultProjection> projection = std::nullopt,
-      Tick window_ticks = 0);
+      Tick window_ticks = 0,
+      SegmentFormat segment_format = SegmentFormat::kV2);
 
   StateManager(const StateManager&) = delete;
   StateManager& operator=(const StateManager&) = delete;
@@ -43,6 +46,9 @@ class StateManager {
     PartitionId partition = 0;
     std::string blob;
     int64_t bytes = 0;        // tracked state bytes before serialization
+    /// v1 fixed-width serialized size of the same state — the "raw"
+    /// figure the storage counters compare blob.size() against.
+    int64_t raw_bytes = 0;
     int64_t tuple_count = 0;
   };
 
@@ -99,11 +105,13 @@ class StateManager {
     return projection_;
   }
   Tick window_ticks() const { return window_ticks_; }
+  SegmentFormat segment_format() const { return segment_format_; }
 
  private:
   int num_streams_;
   std::optional<ResultProjection> projection_;
   Tick window_ticks_;
+  SegmentFormat segment_format_;
   std::map<PartitionId, std::unique_ptr<PartitionGroup>> groups_;
   std::map<PartitionId, bool> locked_;
   int64_t total_bytes_ = 0;

@@ -53,13 +53,29 @@ std::string FileDiskBackend::PathFor(const std::string& name) const {
 }
 
 Status FileDiskBackend::Write(const std::string& name, std::string_view data) {
-  std::ofstream out(PathFor(name), std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot open spill file for write: " + name);
+  // Write to a temp file, then rename over the final path: a crash
+  // mid-write leaves either the old object or a stray .tmp (which List
+  // ignores), never a truncated object that would later deserialize as
+  // corrupt state.
+  const std::string final_path = PathFor(name);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open spill file for write: " + name);
+    }
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      return Status::Internal("short write to spill file: " + name);
+    }
   }
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  if (!out) {
-    return Status::Internal("short write to spill file: " + name);
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    return Status::Internal("cannot publish spill file: " + name);
   }
   return Status::OK();
 }
@@ -86,7 +102,8 @@ std::vector<std::string> FileDiskBackend::List() const {
   std::vector<std::string> names;
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
-    if (entry.is_regular_file()) {
+    if (entry.is_regular_file() &&
+        entry.path().extension() != ".tmp") {
       names.push_back(entry.path().filename().string());
     }
   }

@@ -42,6 +42,9 @@ class MemoryDiskBackend : public DiskBackend {
 };
 
 /// Filesystem-directory backend. Each object is one file under `dir`.
+/// Writes are crash-consistent: data lands in a `.tmp` sibling first and
+/// is renamed into place, so a partially written object is never visible
+/// under its final name (List also skips `.tmp` leftovers).
 class FileDiskBackend : public DiskBackend {
  public:
   /// Creates `dir` (recursively) if needed; aborts on failure since a

@@ -1,5 +1,6 @@
 #include "storage/spill_store.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
@@ -7,31 +8,68 @@
 namespace dcape {
 
 SpillStore::SpillStore(EngineId engine, const Config& config,
-                       std::unique_ptr<DiskBackend> backend)
-    : engine_(engine), config_(config), backend_(std::move(backend)) {
+                       std::unique_ptr<DiskBackend> backend, IoExecutor* io)
+    : engine_(engine), config_(config), backend_(std::move(backend)), io_(io) {
   DCAPE_CHECK(backend_ != nullptr);
   DCAPE_CHECK_GT(config_.write_bytes_per_tick, 0);
   DCAPE_CHECK_GT(config_.read_bytes_per_tick, 0);
 }
 
+SpillStore::~SpillStore() {
+  // The backend dies with this store; writes still in the queue would
+  // otherwise race its destruction.
+  (void)Barrier();
+}
+
+Status SpillStore::Barrier() const {
+  if (io_ == nullptr) return async_error_;
+  Status s = io_->Drain();
+  if (async_error_.ok() && !s.ok()) async_error_ = std::move(s);
+  return async_error_;
+}
+
 StatusOr<Tick> SpillStore::WriteSegment(PartitionId partition, Tick now,
                                         std::string_view blob,
-                                        int64_t tuple_count, bool evicted) {
+                                        int64_t tuple_count, bool evicted,
+                                        int64_t raw_bytes) {
+  // Surface an earlier failed background write here rather than letting
+  // the run continue against a spill area that silently lost state.
+  if (io_ != nullptr && async_error_.ok()) {
+    async_error_ = io_->status();
+  }
+  DCAPE_RETURN_IF_ERROR(async_error_);
+
   SpillSegmentMeta meta;
   meta.engine = engine_;
   meta.partition = partition;
   meta.segment_id = next_segment_id_++;
   meta.spill_time = now;
   meta.bytes = static_cast<int64_t>(blob.size());
+  meta.raw_bytes = raw_bytes >= 0 ? raw_bytes : meta.bytes;
   meta.tuple_count = tuple_count;
   meta.evicted = evicted;
-  meta.object_name = "e" + std::to_string(engine_) + "_p" +
-                     std::to_string(partition) + "_s" +
-                     std::to_string(meta.segment_id) + ".spill";
+  meta.object_name.reserve(32);
+  meta.object_name += "e";
+  meta.object_name += std::to_string(engine_);
+  meta.object_name += "_p";
+  meta.object_name += std::to_string(partition);
+  meta.object_name += "_s";
+  meta.object_name += std::to_string(meta.segment_id);
+  meta.object_name += ".spill";
 
-  DCAPE_RETURN_IF_ERROR(backend_->Write(meta.object_name, blob));
+  if (io_ != nullptr) {
+    // Snapshot the blob: the caller's buffer is typically reused or
+    // freed before the background write lands.
+    io_->Submit([backend = backend_.get(), name = meta.object_name,
+                 data = std::string(blob)] {
+      return backend->Write(name, data);
+    });
+  } else {
+    DCAPE_RETURN_IF_ERROR(backend_->Write(meta.object_name, blob));
+  }
 
   total_spilled_bytes_ += meta.bytes;
+  total_raw_bytes_ += meta.raw_bytes;
   resident_bytes_ += meta.bytes;
   segments_.push_back(meta);
 
@@ -42,20 +80,25 @@ StatusOr<Tick> SpillStore::WriteSegment(PartitionId partition, Tick now,
 }
 
 Status SpillStore::RemoveSegment(int64_t segment_id) {
-  for (auto it = segments_.begin(); it != segments_.end(); ++it) {
-    if (it->segment_id == segment_id) {
-      DCAPE_RETURN_IF_ERROR(backend_->Remove(it->object_name));
-      resident_bytes_ -= it->bytes;
-      segments_.erase(it);
-      return Status::OK();
-    }
+  // segment_id is assigned from a per-store monotonic counter and
+  // segments_ is append-only in assignment order, so it is sorted.
+  auto it = std::lower_bound(
+      segments_.begin(), segments_.end(), segment_id,
+      [](const SpillSegmentMeta& m, int64_t id) { return m.segment_id < id; });
+  if (it == segments_.end() || it->segment_id != segment_id) {
+    return Status::NotFound("no spill segment with id " +
+                            std::to_string(segment_id));
   }
-  return Status::NotFound("no spill segment with id " +
-                          std::to_string(segment_id));
+  DCAPE_RETURN_IF_ERROR(Barrier());
+  DCAPE_RETURN_IF_ERROR(backend_->Remove(it->object_name));
+  resident_bytes_ -= it->bytes;
+  segments_.erase(it);
+  return Status::OK();
 }
 
 StatusOr<std::string> SpillStore::ReadSegment(const SpillSegmentMeta& meta,
                                               Tick* io_ticks) const {
+  DCAPE_RETURN_IF_ERROR(Barrier());
   DCAPE_ASSIGN_OR_RETURN(std::string blob, backend_->Read(meta.object_name));
   if (static_cast<int64_t>(blob.size()) != meta.bytes) {
     return Status::Internal("spill segment size mismatch for " +

@@ -11,6 +11,7 @@
 #include "common/status.h"
 #include "common/virtual_clock.h"
 #include "storage/disk_backend.h"
+#include "storage/io_executor.h"
 
 namespace dcape {
 
@@ -27,7 +28,12 @@ struct SpillSegmentMeta {
   int64_t segment_id = 0;
   /// Virtual time at which the generation was frozen.
   Tick spill_time = 0;
+  /// Encoded blob size on disk (v2-compact when the v2 format is on).
   int64_t bytes = 0;
+  /// Raw (v1 fixed-width) size of the same state; equals `bytes` for v1
+  /// blobs. The compression ratio the storage counters report is
+  /// raw_bytes : bytes.
+  int64_t raw_bytes = 0;
   int64_t tuple_count = 0;
   /// True for *eviction generations*: window-expired tuples preserved for
   /// the cleanup phase. They join only against earlier generations (see
@@ -39,6 +45,15 @@ struct SpillSegmentMeta {
 
 /// The per-engine spill area: serialized partition-group generations plus
 /// a virtual-time I/O cost model (sequential write/read bandwidth).
+///
+/// With an IoExecutor attached, the real backend write happens on the
+/// background thread: WriteSegment snapshots the blob, enqueues the
+/// write, and returns the unchanged *virtual* cost immediately. All
+/// metadata and counters update synchronously, so virtual-clock
+/// accounting — and therefore results — are bit-identical with async
+/// I/O on or off. Reads, removes, and destruction barrier on
+/// outstanding writes, which also keeps the (non-thread-safe) backend
+/// single-threaded at any instant.
 class SpillStore {
  public:
   struct Config {
@@ -49,26 +64,34 @@ class SpillStore {
     int64_t read_bytes_per_tick = 50000;
   };
 
+  /// `io` (optional, unowned, may be shared across stores) makes backend
+  /// writes asynchronous; it must outlive the store.
   SpillStore(EngineId engine, const Config& config,
-             std::unique_ptr<DiskBackend> backend);
+             std::unique_ptr<DiskBackend> backend, IoExecutor* io = nullptr);
+  ~SpillStore();
 
   SpillStore(const SpillStore&) = delete;
   SpillStore& operator=(const SpillStore&) = delete;
 
   /// Persists one serialized partition-group generation. Returns the
   /// virtual I/O duration in ticks; the caller (query engine) models the
-  /// spill as keeping the engine busy that long.
+  /// spill as keeping the engine busy that long. `raw_bytes` is the v1
+  /// fixed-width size of the same state for the compression counters
+  /// (defaults to the blob size). A failed *asynchronous* write surfaces
+  /// as the error of a later WriteSegment / ReadSegment / RemoveSegment.
   StatusOr<Tick> WriteSegment(PartitionId partition, Tick now,
                               std::string_view blob, int64_t tuple_count,
-                              bool evicted = false);
+                              bool evicted = false, int64_t raw_bytes = -1);
 
-  /// Reads a segment back. `io_ticks` (optional out) receives the virtual
-  /// read duration, charged by the cleanup cost model.
+  /// Reads a segment back (barriers on outstanding async writes).
+  /// `io_ticks` (optional out) receives the virtual read duration,
+  /// charged by the cleanup cost model.
   StatusOr<std::string> ReadSegment(const SpillSegmentMeta& meta,
                                     Tick* io_ticks = nullptr) const;
 
   /// Removes a segment (used by online restore once the generation has
-  /// been merged back into memory). NotFound for unknown ids.
+  /// been merged back into memory). NotFound for unknown ids. O(log n):
+  /// segments_ is sorted by the monotonically assigned segment id.
   Status RemoveSegment(int64_t segment_id);
 
   /// All segments in spill order.
@@ -76,23 +99,35 @@ class SpillStore {
 
   /// Cumulative serialized bytes spilled (never decreases).
   int64_t total_spilled_bytes() const { return total_spilled_bytes_; }
+  /// Cumulative raw (v1-equivalent) bytes of everything spilled; the
+  /// v2 size win is total_spilled_bytes() / total_raw_bytes().
+  int64_t total_raw_bytes() const { return total_raw_bytes_; }
   /// Bytes currently resident on disk (decreases on RemoveSegment).
   int64_t resident_bytes() const { return resident_bytes_; }
-  /// Number of WriteSegment calls.
+  /// Number of segments currently resident (decreases on RemoveSegment).
   int64_t segment_count() const {
     return static_cast<int64_t>(segments_.size());
   }
+  /// Cumulative WriteSegment calls (never decreases).
+  int64_t segments_written() const { return next_segment_id_; }
 
   EngineId engine() const { return engine_; }
   const Config& config() const { return config_; }
 
  private:
+  /// Waits for queued writes and latches the first async error into
+  /// async_error_. No-op without an executor.
+  Status Barrier() const;
+
   EngineId engine_;
   Config config_;
   std::unique_ptr<DiskBackend> backend_;
+  IoExecutor* io_;
+  mutable Status async_error_ = Status::OK();
   std::vector<SpillSegmentMeta> segments_;
   int64_t next_segment_id_ = 0;
   int64_t total_spilled_bytes_ = 0;
+  int64_t total_raw_bytes_ = 0;
   int64_t resident_bytes_ = 0;
 };
 

@@ -10,6 +10,16 @@
 
 namespace dcape {
 
+/// On-disk / on-wire layout generation for spill segments and tuple
+/// batches. v1 is the original fixed-width encoding; v2 is the compact
+/// encoding (varint lengths, delta-encoded timestamps, key-grouped
+/// runs). Decoders sniff the version from the blob, so v1 blobs written
+/// by older runs still deserialize.
+enum class SegmentFormat : uint8_t {
+  kV1 = 1,
+  kV2 = 2,
+};
+
 /// Appends fixed-width little-endian primitives and length-prefixed
 /// strings to a byte buffer. Used for spill files and simulated network
 /// state transfer, so that spilled/relocated state is genuinely
@@ -20,12 +30,22 @@ class ByteWriter {
   /// are preserved; new bytes are appended.
   explicit ByteWriter(std::string* out) : out_(out) {}
 
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
   void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
   void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
   /// Length-prefixed (u32) byte string.
   void PutString(std::string_view s);
+
+  /// LEB128 variable-length unsigned integer (1-10 bytes).
+  void PutVarint(uint64_t v);
+  /// Zigzag-mapped varint: small-magnitude signed values (deltas,
+  /// counters) encode in one or two bytes regardless of sign.
+  void PutZigzag(int64_t v);
+  /// Varint-length-prefixed byte string (the v2 replacement for
+  /// PutString's fixed u32 prefix).
+  void PutVString(std::string_view s);
 
  private:
   std::string* out_;
@@ -38,11 +58,16 @@ class ByteReader {
  public:
   explicit ByteReader(std::string_view data) : data_(data), pos_(0) {}
 
+  StatusOr<uint8_t> GetU8();
   StatusOr<uint32_t> GetU32();
   StatusOr<uint64_t> GetU64();
   StatusOr<int32_t> GetI32();
   StatusOr<int64_t> GetI64();
   StatusOr<std::string> GetString();
+
+  StatusOr<uint64_t> GetVarint();
+  StatusOr<int64_t> GetZigzag();
+  StatusOr<std::string> GetVString();
 
   /// Bytes not yet consumed.
   size_t remaining() const { return data_.size() - pos_; }
@@ -54,27 +79,37 @@ class ByteReader {
   size_t pos_;
 };
 
-/// Exact bytes EncodeTuple appends: the fixed header plus the
-/// length-prefixed payload. Kept in sync with Tuple::ByteSize() so byte
-/// accounting doubles as serialized-size accounting.
+/// Exact bytes the v1 fixed-width tuple encoding appends: the fixed
+/// header plus the length-prefixed payload. Kept in sync with
+/// Tuple::ByteSize() so byte accounting doubles as raw-serialized-size
+/// accounting (and as the v2 reserve estimate — v2 is smaller in all but
+/// adversarial cases).
 size_t TupleSerializedSize(const Tuple& tuple);
 
-/// Exact bytes EncodeTupleBatch appends.
+/// Exact bytes EncodeTupleBatch appends in v1 format (an upper-bound
+/// reserve estimate for v2).
 size_t TupleBatchSerializedSize(const TupleBatch& batch);
 
-/// Serializes one tuple (appends to `out`). Callers encoding many tuples
-/// should pre-size `out` via the *SerializedSize helpers; EncodeTuple
-/// itself never reserves.
+/// Serializes one tuple in the v1 fixed-width layout (appends to `out`).
+/// This per-tuple layout is also the trace-file record format, so it
+/// stays fixed-width regardless of the segment format. Callers encoding
+/// many tuples should pre-size `out` via the *SerializedSize helpers;
+/// EncodeTuple itself never reserves.
 void EncodeTuple(const Tuple& tuple, std::string* out);
 
-/// Deserializes one tuple from the reader's current position.
+/// Deserializes one v1 tuple from the reader's current position.
 StatusOr<Tuple> DecodeTuple(ByteReader* reader);
 
-/// Serializes a batch: stream id, count, then each tuple. Pre-sizes
-/// `out` with the exact total, so encoding appends without reallocating.
-void EncodeTupleBatch(const TupleBatch& batch, std::string* out);
+/// Serializes a batch. v2 (default): a magic+version header, then
+/// varint/zigzag columns with per-batch delta encoding of seq and
+/// timestamp. v1: stream id, count, then fixed-width tuples. Pre-sizes
+/// `out`, so encoding appends without reallocating in the common case.
+void EncodeTupleBatch(const TupleBatch& batch, std::string* out,
+                      SegmentFormat format = SegmentFormat::kV2);
 
-/// Deserializes a batch written by EncodeTupleBatch.
+/// Deserializes a batch written by EncodeTupleBatch in either format
+/// (the v2 magic cannot occur as a v1 prefix: it decodes as a negative
+/// stream id).
 StatusOr<TupleBatch> DecodeTupleBatch(std::string_view data);
 
 }  // namespace dcape

@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "runtime/exec_pool.h"
 #include "state/partition_group.h"
 #include "storage/disk_backend.h"
 
@@ -214,6 +215,65 @@ TEST(CleanupTest, ParallelCleanupTimeIsMaxOverEngines) {
   EXPECT_EQ(stats->total_ticks, max_ticks);
   EXPECT_LT(stats->total_ticks,
             stats->engine_ticks[0] + stats->engine_ticks[1]);
+}
+
+TEST(CleanupTest, ExecPoolRunIsBitIdenticalToSerial) {
+  // The same multi-partition, multi-engine scenario run serially and on
+  // ExecPools of several widths: every CleanupStats field and the exact
+  // result ordering must match the serial run.
+  auto build = [](std::unique_ptr<SpillStore>* store0,
+                  std::unique_ptr<SpillStore>* store1,
+                  StateManager* state0, StateManager* state1) {
+    *store0 = MakeStore(0);
+    *store1 = MakeStore(1);
+    for (PartitionId p = 0; p < 6; ++p) {
+      const JoinKey key = 100 + p;
+      ASSERT_TRUE((*store0)
+                      ->WriteSegment(p, 10 + p,
+                                     GroupBlob(p, 2,
+                                               {MakeTuple(0, p * 10 + 1, key),
+                                                MakeTuple(1, p * 10 + 2, key)}),
+                                     2)
+                      .ok());
+      ASSERT_TRUE((*store1)
+                      ->WriteSegment(p, 50 + p,
+                                     GroupBlob(p, 2,
+                                               {MakeTuple(0, p * 10 + 3, key)}),
+                                     1)
+                      .ok());
+      state0->ProcessTuple(p, MakeTuple(1, p * 10 + 4, key), nullptr);
+      // Partition 5 gets no memory remainder on engine 1.
+      if (p != 5) state1->ProcessTuple(p, MakeTuple(0, p * 10 + 5, key), nullptr);
+    }
+  };
+
+  std::unique_ptr<SpillStore> store0, store1;
+  StateManager state0(2), state1(2);
+  build(&store0, &store1, &state0, &state1);
+  CleanupProcessor processor(TestConfig(), 2);
+  StatusOr<CleanupStats> serial =
+      processor.Run({store0.get(), store1.get()}, {&state0, &state1});
+  ASSERT_TRUE(serial.ok());
+  ASSERT_GT(serial->result_count, 0);
+
+  for (int workers : {1, 2, 4, 8}) {
+    std::unique_ptr<SpillStore> pstore0, pstore1;
+    StateManager pstate0(2), pstate1(2);
+    build(&pstore0, &pstore1, &pstate0, &pstate1);
+    ExecPool pool(workers);
+    StatusOr<CleanupStats> parallel = processor.Run(
+        {pstore0.get(), pstore1.get()}, {&pstate0, &pstate1}, &pool);
+    ASSERT_TRUE(parallel.ok()) << "workers=" << workers;
+    EXPECT_EQ(parallel->result_count, serial->result_count);
+    EXPECT_EQ(parallel->partitions_cleaned, serial->partitions_cleaned);
+    EXPECT_EQ(parallel->total_ticks, serial->total_ticks);
+    EXPECT_EQ(parallel->engine_ticks, serial->engine_ticks);
+    ASSERT_EQ(parallel->results.size(), serial->results.size());
+    for (size_t i = 0; i < serial->results.size(); ++i) {
+      EXPECT_EQ(parallel->results[i].EncodeKey(), serial->results[i].EncodeKey())
+          << "workers=" << workers << " result " << i;
+    }
+  }
 }
 
 TEST(CleanupTest, KeyMismatchAcrossGenerationsYieldsNothing) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 namespace dcape {
 namespace {
@@ -72,6 +73,58 @@ TYPED_TEST(DiskBackendTest, ListReturnsSortedNames) {
   EXPECT_EQ(names[0], "a");
   EXPECT_EQ(names[1], "b");
   EXPECT_EQ(names[2], "c");
+}
+
+TEST(FileDiskBackendTest, WritesLeaveNoTempFiles) {
+  // Writes go through a temp file + rename; after each Write the
+  // directory must contain only published files.
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "dcape_tmpfree").string();
+  std::filesystem::remove_all(dir);
+  {
+    FileDiskBackend backend(dir);
+    ASSERT_TRUE(backend.Write("a.spill", "first").ok());
+    ASSERT_TRUE(backend.Write("a.spill", std::string(4096, 'x')).ok());
+    ASSERT_TRUE(backend.Write("b.spill", "second").ok());
+    int tmp_files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (entry.path().extension() == ".tmp") ++tmp_files;
+    }
+    EXPECT_EQ(tmp_files, 0);
+    std::vector<std::string> names = backend.List();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a.spill");
+    EXPECT_EQ(names[1], "b.spill");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileDiskBackendTest, ListSkipsInFlightTempFiles) {
+  // A leftover .tmp (e.g. from a crash mid-write) is not a segment:
+  // List must skip it and Read must not see it.
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "dcape_stale_tmp").string();
+  std::filesystem::remove_all(dir);
+  {
+    FileDiskBackend backend(dir);
+    ASSERT_TRUE(backend.Write("real", "data").ok());
+    std::ofstream(std::filesystem::path(dir) / "crashed.tmp") << "partial";
+    std::vector<std::string> names = backend.List();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "real");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FileDiskBackendTest, OverwriteIsAtomicallyPublished) {
+  // An overwrite replaces the old content wholesale — the reader never
+  // sees a mix or an empty file, because publication is a rename.
+  auto backend = MakeTempFileBackend("dcape_atomic");
+  ASSERT_TRUE(backend->Write("seg", std::string(1024, 'A')).ok());
+  ASSERT_TRUE(backend->Write("seg", std::string(16, 'B')).ok());
+  StatusOr<std::string> read = backend->Read("seg");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, std::string(16, 'B'));
 }
 
 TEST(FileDiskBackendTest, CreatesDirectory) {

@@ -21,11 +21,12 @@ Tuple MakeTuple(StreamId stream, int64_t seq, JoinKey key) {
 }
 
 std::string GroupBlob(PartitionId partition, int num_streams,
-                      const std::vector<Tuple>& tuples) {
+                      const std::vector<Tuple>& tuples,
+                      SegmentFormat format = SegmentFormat::kV2) {
   PartitionGroup group(partition, num_streams);
   for (const Tuple& t : tuples) group.InsertOnly(t);
   std::string blob;
-  group.Serialize(&blob);
+  group.Serialize(&blob, format);
   return blob;
 }
 
@@ -96,7 +97,10 @@ TEST(FailureInjectionTest, GarbageBlobRejectedByInstall) {
 }
 
 TEST(FailureInjectionTest, TamperedGroupBlobRejected) {
-  std::string blob = GroupBlob(3, 2, {MakeTuple(0, 1, 5), MakeTuple(1, 2, 5)});
+  // These two tests patch fixed v1 offsets, so they pin the v1 format;
+  // v2 corruption coverage lives in segment_format_test.
+  std::string blob = GroupBlob(3, 2, {MakeTuple(0, 1, 5), MakeTuple(1, 2, 5)},
+                               SegmentFormat::kV1);
   // Flip the stream-0 tuple count upward (header = partition i32 +
   // num_streams i32 + outputs i64 = 16 bytes): decoding must fail
   // cleanly (truncated input), not read out of bounds.
@@ -110,7 +114,7 @@ TEST(FailureInjectionTest, MismatchedStreamSectionRejected) {
   PartitionGroup group(0, 2);
   group.InsertOnly(MakeTuple(0, 1, 5));
   std::string blob;
-  group.Serialize(&blob);
+  group.Serialize(&blob, SegmentFormat::kV1);
   // Patch the tuple's stream id (first field after the 3 header fields +
   // stream-0 count): header = 4 + 4 + 8 + 8 = 24 bytes, stream id is an
   // i32 at offset 24.

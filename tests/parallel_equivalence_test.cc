@@ -107,6 +107,57 @@ TEST(ParallelEquivalenceTest, MultipleSplitHostsMatchSerial) {
   ExpectIdenticalRuns(serial, parallel, "split-hosts=3 threads=3");
 }
 
+TEST(ParallelEquivalenceTest, AsyncSpillIoMatchesSynchronous) {
+  // Background disk I/O moves the physical write off the caller thread
+  // but charges the identical virtual io cost, so a run with async I/O
+  // is byte-identical to the synchronous run — including with real
+  // files and multiple worker threads in the mix.
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(40);
+  config.strategy = AdaptationStrategy::kSpillOnly;
+
+  config.num_threads = 1;
+  config.async_spill_io = false;
+  RunResult sync_run = Cluster(config).Run();
+  EXPECT_GT(sync_run.spill_events, 0);
+
+  config.async_spill_io = true;
+  RunResult async_run = Cluster(config).Run();
+  ExpectIdenticalRuns(sync_run, async_run, "async-io threads=1");
+
+  config.num_threads = 4;
+  RunResult async_parallel = Cluster(config).Run();
+  ExpectIdenticalRuns(sync_run, async_parallel, "async-io threads=4");
+
+  config.use_file_backend = true;
+  RunResult async_file = Cluster(config).Run();
+  ExpectIdenticalRuns(sync_run, async_file, "async-io file-backend threads=4");
+}
+
+TEST(ParallelEquivalenceTest, SegmentFormatDoesNotChangeResults) {
+  // v1 and v2 blobs restore identical state, so the format choice only
+  // changes encoded byte counts, never results or relocation decisions.
+  ClusterConfig config = SmallClusterConfig();
+  config.run_duration = SecondsToTicks(40);
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  config.num_threads = 2;
+
+  config.segment_format = SegmentFormat::kV2;
+  RunResult v2 = Cluster(config).Run();
+  EXPECT_GT(v2.spill_events, 0);
+
+  config.segment_format = SegmentFormat::kV1;
+  RunResult v1 = Cluster(config).Run();
+
+  EXPECT_EQ(v1.runtime_results, v2.runtime_results);
+  EXPECT_EQ(v1.cleanup.result_count, v2.cleanup.result_count);
+  EXPECT_EQ(v1.spill_events, v2.spill_events);
+  EXPECT_EQ(ToMultiset(AllResults(v1)), ToMultiset(AllResults(v2)));
+  // The compact format strictly shrinks what lands on disk.
+  EXPECT_LT(v2.storage.encoded_bytes, v1.storage.encoded_bytes);
+  EXPECT_EQ(v1.storage.raw_bytes, v2.storage.raw_bytes);
+}
+
 TEST(ParallelEquivalenceTest, OversizedPoolMatchesSerial) {
   // More workers than nodes: the extra lanes idle, results unchanged.
   ClusterConfig config = SmallClusterConfig();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string_view>
+
 #include "tuple/tuple.h"
 
 namespace dcape {
@@ -31,7 +33,9 @@ TEST(ByteWriterReaderTest, TruncatedPrimitiveIsOutOfRange) {
   std::string buf;
   ByteWriter writer(&buf);
   writer.PutU32(1);
-  ByteReader reader(buf.substr(0, 2));
+  // string_view(buf) first: ByteReader only borrows, so the prefix
+  // must outlive it.
+  ByteReader reader(std::string_view(buf).substr(0, 2));
   EXPECT_EQ(reader.GetU32().status().code(), StatusCode::kOutOfRange);
 }
 
@@ -39,7 +43,8 @@ TEST(ByteWriterReaderTest, TruncatedStringBodyIsOutOfRange) {
   std::string buf;
   ByteWriter writer(&buf);
   writer.PutString("abcdef");
-  ByteReader reader(buf.substr(0, 6));  // length prefix + 2 bytes
+  ByteReader reader(
+      std::string_view(buf).substr(0, 6));  // length prefix + 2 bytes
   EXPECT_EQ(reader.GetString().status().code(), StatusCode::kOutOfRange);
 }
 

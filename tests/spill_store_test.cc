@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "storage/disk_backend.h"
+#include "storage/io_executor.h"
 
 namespace dcape {
 namespace {
@@ -65,6 +67,148 @@ TEST(SpillStoreTest, IoCostRoundsUp) {
   EXPECT_EQ(store.WriteSegment(0, 0, std::string(1, 'x'), 1).value(), 1);
   EXPECT_EQ(store.WriteSegment(0, 0, std::string(100, 'x'), 1).value(), 1);
   EXPECT_EQ(store.WriteSegment(0, 0, std::string(101, 'x'), 1).value(), 2);
+}
+
+TEST(SpillStoreTest, RemoveSegmentByIdAndAccounting) {
+  SpillStore store = MakeStore();
+  ASSERT_TRUE(store.WriteSegment(1, 0, "aaaa", 1).ok());
+  ASSERT_TRUE(store.WriteSegment(2, 0, "bbbbbb", 2).ok());
+  ASSERT_TRUE(store.WriteSegment(3, 0, "cc", 3).ok());
+  EXPECT_EQ(store.segments_written(), 3);
+  EXPECT_EQ(store.resident_bytes(), 12);
+
+  // Remove the middle segment; lookup is by id, not position.
+  ASSERT_TRUE(store.RemoveSegment(1).ok());
+  EXPECT_EQ(store.segment_count(), 2);
+  EXPECT_EQ(store.segments()[0].segment_id, 0);
+  EXPECT_EQ(store.segments()[1].segment_id, 2);
+  EXPECT_EQ(store.resident_bytes(), 6);
+  // Cumulative counters never decrease.
+  EXPECT_EQ(store.segments_written(), 3);
+  EXPECT_EQ(store.total_spilled_bytes(), 12);
+
+  EXPECT_EQ(store.RemoveSegment(1).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.RemoveSegment(99).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(store.RemoveSegment(0).ok());
+  ASSERT_TRUE(store.RemoveSegment(2).ok());
+  EXPECT_EQ(store.segment_count(), 0);
+  EXPECT_EQ(store.resident_bytes(), 0);
+}
+
+TEST(SpillStoreTest, RawBytesCounterTracksPreEncodingSize) {
+  SpillStore store = MakeStore();
+  ASSERT_TRUE(store.WriteSegment(1, 0, std::string(60, 'e'), 4,
+                                 /*evicted=*/false, /*raw_bytes=*/100)
+                  .ok());
+  ASSERT_TRUE(store.WriteSegment(1, 0, std::string(40, 'e'), 4).ok());
+  EXPECT_EQ(store.total_spilled_bytes(), 100);
+  // Defaults to the blob size when the caller has no raw figure.
+  EXPECT_EQ(store.total_raw_bytes(), 140);
+  EXPECT_EQ(store.segments()[0].raw_bytes, 100);
+  EXPECT_EQ(store.segments()[1].raw_bytes, 40);
+}
+
+TEST(SpillStoreTest, AsyncWritesAreReadableAfterBarrier) {
+  IoExecutor io;
+  SpillStore::Config config;
+  config.write_bytes_per_tick = 100;
+  config.read_bytes_per_tick = 200;
+  SpillStore store(/*engine=*/0, config,
+                   std::make_unique<MemoryDiskBackend>(), &io);
+  const std::string blob(250, 'z');
+  // Virtual cost is identical to the synchronous path.
+  EXPECT_EQ(store.WriteSegment(7, 10, blob, 5).value(), 3);
+  ASSERT_EQ(store.segments().size(), 1u);
+  // ReadSegment barriers on the queued write before touching the backend.
+  EXPECT_EQ(store.ReadSegment(store.segments()[0]).value(), blob);
+}
+
+TEST(SpillStoreTest, AsyncWriteSnapshotsTheBlob) {
+  IoExecutor io;
+  SpillStore store(/*engine=*/0, SpillStore::Config{},
+                   std::make_unique<MemoryDiskBackend>(), &io);
+  std::string blob = "original-contents";
+  ASSERT_TRUE(store.WriteSegment(1, 0, blob, 1).ok());
+  // Caller reuses its buffer immediately — the queued write must hold a
+  // private copy.
+  blob.assign(blob.size(), '!');
+  EXPECT_EQ(store.ReadSegment(store.segments()[0]).value(),
+            "original-contents");
+}
+
+TEST(SpillStoreTest, ManyAsyncWritesAllLand) {
+  IoExecutor io;
+  SpillStore store(/*engine=*/2, SpillStore::Config{},
+                   std::make_unique<MemoryDiskBackend>(), &io);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        store.WriteSegment(i % 7, i, std::string(static_cast<size_t>(i + 1),
+                                                 static_cast<char>('a' + i % 26)),
+                           1)
+            .ok());
+  }
+  EXPECT_EQ(store.segments_written(), 200);
+  for (const SpillSegmentMeta& meta : store.segments()) {
+    StatusOr<std::string> blob = store.ReadSegment(meta);
+    ASSERT_TRUE(blob.ok());
+    EXPECT_EQ(static_cast<int64_t>(blob->size()), meta.bytes);
+  }
+  EXPECT_GE(io.queue_high_water(), 1);
+}
+
+TEST(SpillStoreTest, AsyncRemoveBarriersBeforeBackendRemove) {
+  IoExecutor io;
+  SpillStore store(/*engine=*/0, SpillStore::Config{},
+                   std::make_unique<MemoryDiskBackend>(), &io);
+  ASSERT_TRUE(store.WriteSegment(1, 0, "abc", 1).ok());
+  // Without the barrier this could race the queued write and NotFound.
+  EXPECT_TRUE(store.RemoveSegment(0).ok());
+  EXPECT_EQ(store.segment_count(), 0);
+}
+
+TEST(IoExecutorTest, DrainIsABarrierAndLatchesFirstError) {
+  IoExecutor io;
+  int done = 0;
+  io.Submit([&done] {
+    done += 1;
+    return Status::OK();
+  });
+  io.Submit([] { return Status::Internal("boom-1"); });
+  io.Submit([] { return Status::Internal("boom-2"); });
+  io.Submit([&done] {
+    done += 1;
+    return Status::OK();
+  });
+  Status s = io.Drain();
+  EXPECT_EQ(done, 2);  // jobs after a failure still run
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(s.message(), "boom-1");
+  EXPECT_EQ(io.status().message(), "boom-1");
+}
+
+TEST(SpillStoreTest, AsyncWriteErrorSurfacesOnNextOperation) {
+  // A backend whose writes always fail.
+  class FailingBackend : public DiskBackend {
+   public:
+    Status Write(const std::string&, std::string_view) override {
+      return Status::Internal("disk full");
+    }
+    StatusOr<std::string> Read(const std::string& name) override {
+      return Status::NotFound(name);
+    }
+    Status Remove(const std::string& name) override {
+      return Status::NotFound(name);
+    }
+    std::vector<std::string> List() const override { return {}; }
+  };
+  IoExecutor io;
+  SpillStore store(/*engine=*/0, SpillStore::Config{},
+                   std::make_unique<FailingBackend>(), &io);
+  ASSERT_TRUE(store.WriteSegment(1, 0, "abc", 1).ok());  // queued
+  ASSERT_TRUE(io.Drain().code() == StatusCode::kInternal);
+  // The latched failure surfaces on the next write.
+  EXPECT_EQ(store.WriteSegment(1, 1, "def", 1).status().code(),
+            StatusCode::kInternal);
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 //   dcape_run --record-trace=day.trace --duration-min=5
 //   dcape_run --replay-trace=day.trace --strategy=spill-only
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -75,6 +76,21 @@ int Run(const std::vector<std::string>& args) {
       return 1;
     }
     std::cout << "series written to " << options.csv_path << "\n";
+
+    // Storage-plane counters ride along as a sibling CSV.
+    std::string storage_path = options.csv_path;
+    const size_t dot = storage_path.rfind(".csv");
+    if (dot != std::string::npos && dot == storage_path.size() - 4) {
+      storage_path.resize(dot);
+    }
+    storage_path += ".storage.csv";
+    std::ofstream storage_out(storage_path);
+    storage_out << result.StorageCsv();
+    if (!storage_out) {
+      std::cerr << "cannot write " << storage_path << "\n";
+      return 1;
+    }
+    std::cout << "storage counters written to " << storage_path << "\n";
   }
   if (!options.record_trace_path.empty()) {
     Status status = WriteTraceFile(options.record_trace_path,
