@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "sim/invariants.h"
 
 namespace dcape {
 
@@ -22,6 +23,22 @@ GlobalCoordinator::GlobalCoordinator(const CoordinatorConfig& config,
                  config_.engine_memory_thresholds.size());
 }
 
+bool GlobalCoordinator::GuardProtocol(const char* what, int64_t id,
+                                      Phase expected) {
+  if (inflight_.has_value() && inflight_->id == id &&
+      inflight_->phase == expected) {
+    return true;
+  }
+  if (config_.invariants != nullptr) {
+    config_.invariants->Report(
+        std::string("coordinator received ") + what + " for relocation " +
+        std::to_string(id) +
+        (inflight_.has_value() ? " in the wrong phase"
+                               : " with no relocation in flight"));
+  }
+  return false;
+}
+
 void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
   switch (message.type) {
     case MessageType::kStatsReport: {
@@ -31,8 +48,8 @@ void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
     }
     case MessageType::kPartitionsToMove: {
       const auto& reply = std::get<PartitionsToMove>(message.payload);
-      if (!inflight_.has_value() || inflight_->id != reply.relocation_id ||
-          inflight_->phase != Phase::kAwaitPartitions) {
+      if (!GuardProtocol("partitions-to-move", reply.relocation_id,
+                         Phase::kAwaitPartitions)) {
         return;
       }
       if (reply.partitions.empty()) {
@@ -64,8 +81,8 @@ void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
     }
     case MessageType::kPauseAck: {
       const auto& ack = std::get<PauseAck>(message.payload);
-      if (!inflight_.has_value() || inflight_->id != ack.relocation_id ||
-          inflight_->phase != Phase::kAwaitPauseAcks) {
+      if (!GuardProtocol("pause-ack", ack.relocation_id,
+                         Phase::kAwaitPauseAcks)) {
         return;
       }
       inflight_->acks += 1;
@@ -88,8 +105,8 @@ void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
     }
     case MessageType::kStatesInstalled: {
       const auto& installed = std::get<StatesInstalled>(message.payload);
-      if (!inflight_.has_value() || inflight_->id != installed.relocation_id ||
-          inflight_->phase != Phase::kAwaitInstall) {
+      if (!GuardProtocol("states-installed", installed.relocation_id,
+                         Phase::kAwaitInstall)) {
         return;
       }
       inflight_->phase = Phase::kAwaitRoutingAcks;
@@ -110,8 +127,8 @@ void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
     }
     case MessageType::kRoutingUpdated: {
       const auto& updated = std::get<RoutingUpdated>(message.payload);
-      if (!inflight_.has_value() || inflight_->id != updated.relocation_id ||
-          inflight_->phase != Phase::kAwaitRoutingAcks) {
+      if (!GuardProtocol("routing-updated", updated.relocation_id,
+                         Phase::kAwaitRoutingAcks)) {
         return;
       }
       inflight_->acks += 1;

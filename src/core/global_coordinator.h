@@ -15,6 +15,10 @@
 
 namespace dcape {
 
+namespace sim {
+class InvariantRecorder;
+}  // namespace sim
+
 /// Configuration of the global coordinator node.
 struct CoordinatorConfig {
   NodeId node_id = kInvalidNode;
@@ -29,6 +33,11 @@ struct CoordinatorConfig {
   /// Per-engine local spill thresholds, used by the active-disk memory-
   /// pressure guard (aggregate usage vs aggregate capacity).
   std::vector<int64_t> engine_memory_thresholds;
+  /// Chaos-harness invariant sink (unowned; null in production). When
+  /// set, protocol messages that arrive for an unknown relocation or in
+  /// the wrong phase are reported instead of silently dropped — in a
+  /// correct run under tolerated faults, none ever do.
+  sim::InvariantRecorder* invariants = nullptr;
 };
 
 /// The global adaptation controller (paper Fig. 4).
@@ -99,6 +108,11 @@ class GlobalCoordinator {
     EngineId receiver = 0;
     int64_t amount_bytes = 0;
   };
+
+  /// True when `id` matches the in-flight relocation in phase
+  /// `expected`; otherwise reports to the invariant recorder (when
+  /// configured) and returns false.
+  bool GuardProtocol(const char* what, int64_t id, Phase expected);
 
   /// The §4 relocation rule; returns true when a relocation was started
   /// this round. Under kGlobalRebalance a whole round of moves is planned

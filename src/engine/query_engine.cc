@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "sim/invariants.h"
 #include "state/group_merge.h"
 #include "stream/stream_generator.h"
 
@@ -26,6 +27,8 @@ QueryEngine::QueryEngine(const EngineConfig& config, Network* network,
       restore_timer_(config.restore.check_period),
       evict_timer_(config.evict_period) {
   DCAPE_CHECK(network_ != nullptr);
+  counters_.tuples_per_stream.resize(static_cast<size_t>(config.num_streams),
+                                     0);
 }
 
 void QueryEngine::OnTupleBatch(Tick now, TupleBatch&& batch) {
@@ -95,6 +98,7 @@ void QueryEngine::OnMessage(Tick now, const Message& message) {
       const auto& transfer = std::get<StateTransfer>(message.payload);
       int64_t installed_bytes = 0;
       for (const SerializedGroup& group : transfer.groups) {
+        relocated_away_.erase(group.partition);
         const int64_t before = mjoin_.state().total_bytes();
         Status status = mjoin_.state().InstallGroup(group.bytes);
         if (!status.ok()) {
@@ -153,8 +157,16 @@ void QueryEngine::ProcessBatch(Tick now, const TupleBatch& batch) {
   for (const Tuple& tuple : batch.tuples) {
     const PartitionId partition =
         StreamGenerator::PartitionOfKey(tuple.join_key);
+    if (config_.invariants != nullptr &&
+        relocated_away_.count(partition) > 0) {
+      config_.invariants->Report(
+          "engine " + std::to_string(config_.engine_id) +
+          " processed a tuple for relocated-away partition " +
+          std::to_string(partition));
+    }
     mjoin_.Process(partition, tuple, &results);
     counters_.tuples_processed += 1;
+    counters_.tuples_per_stream[static_cast<size_t>(tuple.stream_id)] += 1;
   }
   if (!results.empty()) {
     counters_.results_produced += static_cast<int64_t>(results.size());
@@ -188,6 +200,15 @@ void QueryEngine::DoSpill(Tick now, const std::vector<PartitionId>& victims,
   } else {
     counters_.spill_events += 1;
   }
+  if (outcome->failed_groups > 0) {
+    // Transient write failures: the affected groups were reinstalled in
+    // memory (no state lost) and will be retried by a later spill check.
+    counters_.spill_write_failures += outcome->failed_groups;
+    DCAPE_LOG(kWarning) << "engine " << config_.engine_id << " kept "
+                        << outcome->failed_groups
+                        << " groups in memory after spill write failure: "
+                        << outcome->first_error.ToString();
+  }
   busy_until_ = std::max(busy_until_, now) + outcome->io_ticks;
   DCAPE_LOG(kInfo) << "engine " << config_.engine_id << " spilled "
                    << outcome->groups << " groups, " << outcome->bytes
@@ -214,15 +235,29 @@ void QueryEngine::EvictExpired(Tick now) {
   }
   int64_t dropped = 0;
   for (StateManager::ExtractedGroup& group : evicted) {
-    counters_.evicted_tuples += group.tuple_count;
     if (has_disk.count(group.partition) == 0) {
+      counters_.evicted_tuples += group.tuple_count;
       ++dropped;
       continue;
     }
     StatusOr<Tick> io = spill_store_.WriteSegment(
         group.partition, now, group.blob, group.tuple_count,
         /*evicted=*/true, group.raw_bytes);
-    DCAPE_CHECK(io.ok());
+    if (!io.ok()) {
+      // Transient write failure: keep the expired tuples in memory. The
+      // window filter stops them from producing new runtime results, the
+      // cleanup phase still crosses them against disk generations, and a
+      // later eviction pass retries the write. Reinstalling our own
+      // serialized blob cannot fail.
+      counters_.spill_write_failures += 1;
+      DCAPE_LOG(kWarning) << "engine " << config_.engine_id
+                          << " kept expired group " << group.partition
+                          << " in memory after eviction write failure: "
+                          << io.status().ToString();
+      DCAPE_CHECK(mjoin_.state().InstallGroup(group.blob).ok());
+      continue;
+    }
+    counters_.evicted_tuples += group.tuple_count;
     busy_until_ = std::max(busy_until_, now) + *io;
     counters_.eviction_segments += 1;
   }
@@ -323,9 +358,15 @@ void QueryEngine::MaybeFinishOutgoing(Tick now, int64_t relocation_id) {
       out.drain_markers < config_.num_split_hosts) {
     return;
   }
+  // The drain markers only prove the pre-pause tuples *arrived*; they can
+  // still sit in pending_batches_ behind disk I/O (markers bypass the
+  // queue via OnMessage). Shipping now would join those stragglers
+  // against a fresh empty group and lose their results. OnTick retries
+  // once the queue drains.
+  if (!pending_batches_.empty()) return;
 
-  // All pre-pause tuples have arrived (drain markers on FIFO links) and
-  // the coordinator authorized the move: extract and ship the groups.
+  // All pre-pause tuples have been processed and the coordinator
+  // authorized the move: extract and ship the groups.
   std::vector<StateManager::ExtractedGroup> extracted =
       mjoin_.state().ExtractGroups(out.partitions);
   mjoin_.state().UnlockGroups(out.partitions);
@@ -341,6 +382,9 @@ void QueryEngine::MaybeFinishOutgoing(Tick now, int64_t relocation_id) {
   }
   counters_.relocations_out += 1;
   counters_.bytes_relocated_out += bytes;
+  if (config_.invariants != nullptr) {
+    for (PartitionId p : out.partitions) relocated_away_.insert(p);
+  }
 
   Message msg;
   msg.type = MessageType::kStateTransfer;
@@ -358,6 +402,17 @@ void QueryEngine::MaybeFinishOutgoing(Tick now, int64_t relocation_id) {
 
 void QueryEngine::OnTick(Tick now) {
   DrainPending(now);
+
+  // An outgoing relocation may have been held back by queued batches
+  // when its last drain marker arrived; retry now that the queue is
+  // (possibly) empty. Ids are collected first: a finishing relocation
+  // erases itself from outgoing_.
+  if (!outgoing_.empty() && pending_batches_.empty()) {
+    std::vector<int64_t> ready;
+    ready.reserve(outgoing_.size());
+    for (const auto& [id, out] : outgoing_) ready.push_back(id);
+    for (int64_t id : ready) MaybeFinishOutgoing(now, id);
+  }
 
   if (StrategySpillsLocally(config_.strategy) && now >= busy_until_ &&
       mode_ == EngineMode::kNormal) {

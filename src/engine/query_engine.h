@@ -1,11 +1,13 @@
 #ifndef DCAPE_ENGINE_QUERY_ENGINE_H_
 #define DCAPE_ENGINE_QUERY_ENGINE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/ids.h"
@@ -20,6 +22,10 @@
 #include "storage/spill_store.h"
 
 namespace dcape {
+
+namespace sim {
+class InvariantRecorder;
+}  // namespace sim
 
 /// Execution modes of a query engine (paper Table 2).
 enum class EngineMode {
@@ -60,6 +66,11 @@ struct EngineConfig {
   /// Encoding for spilled / relocated partition groups (tuple/serde.h).
   SegmentFormat segment_format = SegmentFormat::kV2;
   uint64_t seed = 1;
+  /// Chaos-harness invariant sink (unowned; null in production). When
+  /// set, the engine reports protocol violations — e.g. a tuple arriving
+  /// for a partition whose state was relocated away — instead of
+  /// silently producing wrong results.
+  sim::InvariantRecorder* invariants = nullptr;
 };
 
 /// One query engine of the distributed architecture (paper Fig. 4): hosts
@@ -92,6 +103,12 @@ class QueryEngine {
     /// Window-eviction activity (window_ticks > 0).
     int64_t evicted_tuples = 0;
     int64_t eviction_segments = 0;
+    /// Spill / eviction writes that failed and were recovered by
+    /// reinstalling the extracted state (transient disk faults).
+    int64_t spill_write_failures = 0;
+    /// Tuples processed per stream (size == num_streams) — the chaos
+    /// harness's per-stream accounting diffs this against the oracle.
+    std::vector<int64_t> tuples_per_stream;
   };
 
   /// `io_executor` (optional, unowned, shareable across engines) makes
@@ -121,6 +138,21 @@ class QueryEngine {
   /// by the driver to detect quiescence at end of run.
   bool Idle(Tick now) const {
     return pending_batches_.empty() && now >= busy_until_;
+  }
+
+  /// Chaos hook: freezes the engine for `ticks` virtual ms (models a GC
+  /// pause / CPU steal). Arriving batches queue and drain afterwards.
+  void InjectStall(Tick now, Tick ticks) {
+    busy_until_ = std::max(busy_until_, now) + ticks;
+  }
+
+  /// Batches queued behind disk I/O (observability for the harness).
+  int64_t pending_batch_count() const {
+    return static_cast<int64_t>(pending_batches_.size());
+  }
+  /// Sender-side relocations not yet shipped (0 at quiescence).
+  int64_t outgoing_relocation_count() const {
+    return static_cast<int64_t>(outgoing_.size());
   }
 
   MJoin& mjoin() { return mjoin_; }
@@ -168,6 +200,10 @@ class QueryEngine {
   Tick busy_until_ = 0;
   std::deque<TupleBatch> pending_batches_;
   std::map<int64_t, OutgoingRelocation> outgoing_;
+  /// Partitions whose state this engine shipped away and has not since
+  /// received back — maintained only when config_.invariants is set, to
+  /// flag tuples that arrive at a non-owner.
+  std::set<PartitionId> relocated_away_;
   int64_t outputs_in_window_ = 0;
   Counters counters_;
 };

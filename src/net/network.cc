@@ -11,6 +11,12 @@ void Network::RegisterNode(NodeId node, Handler handler) {
   max_registered_node_ = std::max(max_registered_node_, node);
 }
 
+void Network::SetFaultHooks(std::function<Tick(const Message&)> extra_delay,
+                            std::function<bool(const Message&)> duplicate) {
+  fault_extra_delay_ = std::move(extra_delay);
+  fault_duplicate_ = std::move(duplicate);
+}
+
 void Network::Send(Message message, Tick now) {
   DCAPE_CHECK_NE(message.from, kInvalidNode);
   DCAPE_CHECK_NE(message.to, kInvalidNode);
@@ -34,6 +40,9 @@ void Network::Enqueue(Message message, Tick now) {
     transfer = (bytes + config_.bytes_per_tick - 1) / config_.bytes_per_tick;
   }
   Tick arrival = now + config_.latency_ticks + transfer;
+  // Injected jitter lands before the FIFO clamp: a jittered message can
+  // delay its link's successors but never overtake them.
+  if (fault_extra_delay_) arrival += fault_extra_delay_(message);
 
   // FIFO per directed link: never schedule ahead of an earlier message on
   // the same link (TCP in-order delivery).
@@ -50,8 +59,19 @@ void Network::Enqueue(Message message, Tick now) {
     stats_.state_transfer_bytes += bytes;
   }
 
+  const bool duplicate = fault_duplicate_ && fault_duplicate_(message);
+  Message copy;
+  if (duplicate) copy = message;
   heap_.push_back(InFlight{arrival, next_sequence_++, std::move(message)});
   std::push_heap(heap_.begin(), heap_.end(), LaterArrival{});
+  if (duplicate) {
+    const Tick dup_arrival = arrival + 1;
+    link_last_arrival_[link] = dup_arrival;
+    stats_.messages_sent += 1;
+    stats_.bytes_sent += bytes;
+    heap_.push_back(InFlight{dup_arrival, next_sequence_++, std::move(copy)});
+    std::push_heap(heap_.begin(), heap_.end(), LaterArrival{});
+  }
 }
 
 Network::InFlight Network::PopEarliest() {

@@ -77,6 +77,17 @@ class Network {
   /// handler.
   void RegisterNode(NodeId node, Handler handler);
 
+  /// Chaos hooks (sim/). `extra_delay` adds ticks to a message's arrival
+  /// *before* the link-FIFO clamp — jitter is delay-only, so in-order
+  /// delivery per link (which the drain markers rely on) is preserved
+  /// while cross-link reordering emerges naturally. `duplicate` delivers
+  /// the message a second time one tick later (a deliberate protocol
+  /// violation, used to prove the harness catches one). Both hooks run
+  /// only on the main thread: Enqueue happens either outside buffered
+  /// mode or at the FlushBuffered barrier, never on pool workers.
+  void SetFaultHooks(std::function<Tick(const Message&)> extra_delay,
+                     std::function<bool(const Message&)> duplicate);
+
   /// Enqueues `message` for delivery. `message.from/to` must be set and
   /// `to` must name a registered node by delivery time. In buffered mode
   /// the message parks in the outbox of `message.from` until
@@ -146,6 +157,8 @@ class Network {
 
   Config config_;
   std::map<NodeId, Handler> handlers_;
+  std::function<Tick(const Message&)> fault_extra_delay_;
+  std::function<bool(const Message&)> fault_duplicate_;
   /// Min-heap over (arrival, sequence), via std::push_heap/std::pop_heap
   /// so entries can be *moved* out on delivery.
   std::vector<InFlight> heap_;

@@ -18,15 +18,23 @@ StatusOr<MJoin::SpillOutcome> MJoin::SpillPartitions(
   std::vector<StateManager::ExtractedGroup> extracted =
       state_.ExtractGroups(unlocked);
   for (StateManager::ExtractedGroup& group : extracted) {
-    DCAPE_ASSIGN_OR_RETURN(
-        Tick io_ticks,
-        spill_store_->WriteSegment(group.partition, now, group.blob,
-                                   group.tuple_count, /*evicted=*/false,
-                                   group.raw_bytes));
+    StatusOr<Tick> io_ticks = spill_store_->WriteSegment(
+        group.partition, now, group.blob, group.tuple_count,
+        /*evicted=*/false, group.raw_bytes);
+    if (!io_ticks.ok()) {
+      // The group is already out of the state manager; losing it here
+      // would silently drop its future join results. Reinstall our own
+      // serialized blob (which cannot fail) and let a later spill check
+      // retry once the disk recovers.
+      DCAPE_CHECK(state_.InstallGroup(group.blob).ok());
+      outcome.failed_groups += 1;
+      if (outcome.first_error.ok()) outcome.first_error = io_ticks.status();
+      continue;
+    }
     outcome.bytes += group.bytes;
     outcome.tuples += group.tuple_count;
     outcome.groups += 1;
-    outcome.io_ticks += io_ticks;
+    outcome.io_ticks += *io_ticks;
   }
   return outcome;
 }

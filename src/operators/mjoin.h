@@ -54,11 +54,18 @@ class MJoin {
     int groups = 0;
     /// Total virtual disk-write time; the engine stays busy this long.
     Tick io_ticks = 0;
+    /// Groups whose segment write failed; each was reinstalled into
+    /// memory unchanged (no state was lost, nothing was charged to
+    /// bytes/tuples/io_ticks). `first_error` carries the first failure.
+    int failed_groups = 0;
+    Status first_error;
   };
 
   /// Serializes the given partitions' groups to the spill store (one
   /// generation each) and drops them from memory. Locked (relocating)
-  /// partitions are skipped.
+  /// partitions are skipped. A failed segment write is survivable: the
+  /// extracted group is reinstalled and reported via
+  /// `SpillOutcome::failed_groups` (a later spill check retries).
   StatusOr<SpillOutcome> SpillPartitions(
       const std::vector<PartitionId>& partitions, Tick now);
 

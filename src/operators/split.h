@@ -54,6 +54,11 @@ class Split {
     return static_cast<int64_t>(buffered_.size());
   }
 
+  /// Partitions currently paused (0 outside a relocation).
+  int64_t paused_count() const {
+    return static_cast<int64_t>(paused_.size());
+  }
+
   StreamId stream_id() const { return stream_id_; }
   const std::vector<EngineId>& routing() const { return routing_; }
 

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "sim/faulty_backend.h"
 #include "storage/disk_backend.h"
 
 namespace dcape {
@@ -67,7 +68,14 @@ Cluster::Cluster(const ClusterConfig& config)
     engine_config.stats_period = config_.stats_period;
     engine_config.projection = config_.projection;
     engine_config.segment_format = config_.segment_format;
+    if (!config_.per_engine_segment_format.empty()) {
+      DCAPE_CHECK_EQ(config_.per_engine_segment_format.size(),
+                     static_cast<size_t>(config_.num_engines));
+      engine_config.segment_format =
+          config_.per_engine_segment_format[static_cast<size_t>(e)];
+    }
     engine_config.seed = config_.seed + 1000 + static_cast<uint64_t>(e);
+    engine_config.invariants = config_.invariants.get();
 
     std::unique_ptr<DiskBackend> backend;
     if (config_.use_file_backend) {
@@ -76,9 +84,19 @@ Cluster::Cluster(const ClusterConfig& config)
     } else {
       backend = std::make_unique<MemoryDiskBackend>();
     }
+    if (config_.fault_plan != nullptr) {
+      backend = std::make_unique<sim::FaultyBackend>(
+          std::move(backend), config_.fault_plan.get(), e);
+    }
     engines_.push_back(std::make_unique<QueryEngine>(
         engine_config, &network_, config_.disk, std::move(backend),
         io_executor_.get()));
+  }
+  if (config_.fault_plan != nullptr) {
+    sim::FaultPlan* plan = config_.fault_plan.get();
+    network_.SetFaultHooks(
+        [plan](const Message& m) { return plan->SampleExtraDelay(m); },
+        [plan](const Message& m) { return plan->SampleDuplicate(m); });
   }
 
   // Global coordinator.
@@ -96,6 +114,7 @@ Cluster::Cluster(const ClusterConfig& config)
   coord_config.strategy = config_.strategy;
   coord_config.relocation = config_.relocation;
   coord_config.active = config_.active_disk;
+  coord_config.invariants = config_.invariants.get();
   coordinator_ = std::make_unique<GlobalCoordinator>(coord_config, &network_);
 
   // Split hosts: streams assigned round-robin over the hosts.
@@ -117,6 +136,7 @@ Cluster::Cluster(const ClusterConfig& config)
       }
     }
     split_config.project_payload_to = config_.project_payload_to;
+    split_config.invariants = config_.invariants.get();
     split_hosts_.push_back(std::make_unique<SplitHost>(
         split_config, placement_, &network_));
   }
@@ -213,6 +233,15 @@ void Cluster::DeliverWaves(Tick now) {
 void Cluster::StepTick(Tick now, bool generate) {
   DeliverWaves(now);
   generator_->OnTick(now, generate);
+  // Injected stalls are sampled here, in engine-id order on the main
+  // thread, so the fault sequence is identical for every --threads
+  // value.
+  if (config_.fault_plan != nullptr) {
+    for (EngineId e = 0; e < config_.num_engines; ++e) {
+      const Tick stall = config_.fault_plan->SampleStall(e);
+      if (stall > 0) engines_[static_cast<size_t>(e)]->InjectStall(now, stall);
+    }
+  }
   // Engine housekeeping (pending batches, spill checks, stats) is
   // per-engine state only; their sends buffer and merge like a wave.
   network_.BeginBuffered();

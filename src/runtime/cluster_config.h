@@ -14,6 +14,8 @@
 #include "core/strategy.h"
 #include "net/network.h"
 #include "operators/select.h"
+#include "sim/fault_plan.h"
+#include "sim/invariants.h"
 #include "storage/spill_store.h"
 #include "stream/workload.h"
 #include "tuple/projection.h"
@@ -91,6 +93,9 @@ struct ClusterConfig {
   /// v2 (default) is the compact format; decoders sniff, so either
   /// format reads blobs written by the other.
   SegmentFormat segment_format = SegmentFormat::kV2;
+  /// Optional per-engine encoding override (size == num_engines when
+  /// non-empty); lets a mixed cluster exercise cross-format relocation.
+  std::vector<SegmentFormat> per_engine_segment_format;
   /// Perform the spill stores' real backend writes on a background I/O
   /// thread shared by all engines. Virtual-clock accounting — and thus
   /// every result and counter — is identical with this on or off; only
@@ -110,6 +115,15 @@ struct ClusterConfig {
   bool run_cleanup = true;
 
   uint64_t seed = 42;
+
+  /// Chaos hooks (sim/). When `fault_plan` is set the network injects
+  /// bounded delivery jitter, every engine's disk backend is wrapped in a
+  /// sim::FaultyBackend, and engines suffer seeded stalls. When
+  /// `invariants` is set the protocol participants report violations of
+  /// the relocation/pause/drain invariants into it instead of assuming
+  /// them. Both null in production runs — zero overhead.
+  std::shared_ptr<sim::FaultPlan> fault_plan;
+  std::shared_ptr<sim::InvariantRecorder> invariants;
 };
 
 /// Places partitions on engines in contiguous id blocks sized by

@@ -1,6 +1,8 @@
 #include "runtime/experiment_flags.h"
 
 #include <cstdlib>
+#include <set>
+#include <string>
 #include <string_view>
 
 #include "core/productivity.h"
@@ -62,11 +64,20 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
 
   double join_rate = 3.0;
   int64_t tuple_range = 180000;
+  // Flags seen so far, by name: rejects duplicates and drives the
+  // strategy-consistency checks after the loop.
+  std::set<std::string, std::less<>> seen;
 
   for (const std::string& arg : args) {
     std::string_view view = arg;
     if (view == "--help" || view == "-h") {
       return Status::InvalidArgument(ExperimentFlagsHelp());
+    }
+    {
+      const std::string_view name = view.substr(0, view.find('='));
+      if (!seen.insert(std::string(name)).second) {
+        return Status::InvalidArgument("duplicate flag " + std::string(name));
+      }
     }
     if (view == "--quiet") {
       options.tables = false;
@@ -241,6 +252,37 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
           static_cast<size_t>(config.num_engines)) {
     return Status::InvalidArgument(
         "--placement must list one share per engine");
+  }
+  // Spill/relocation tuning flags are silently inert under a strategy
+  // that never consults them; reject the combination instead, naming the
+  // offending flag.
+  if (!StrategySpillsLocally(config.strategy)) {
+    for (const char* flag : {"--restore", "--spill-fraction",
+                             "--spill-policy"}) {
+      if (seen.count(flag) > 0) {
+        return Status::InvalidArgument(
+            std::string(flag) + " requires a spilling strategy "
+            "(--strategy=spill-only|lazy-disk|active-disk), got --strategy=" +
+            StrategyName(config.strategy));
+      }
+    }
+  }
+  if (!StrategyRelocates(config.strategy)) {
+    for (const char* flag : {"--theta", "--tau-sec", "--relocation-model"}) {
+      if (seen.count(flag) > 0) {
+        return Status::InvalidArgument(
+            std::string(flag) + " requires a relocating strategy "
+            "(--strategy=relocation-only|lazy-disk|active-disk), got "
+            "--strategy=" +
+            StrategyName(config.strategy));
+      }
+    }
+  }
+  if (config.strategy != AdaptationStrategy::kActiveDisk &&
+      seen.count("--lambda") > 0) {
+    return Status::InvalidArgument(
+        "--lambda requires --strategy=active-disk, got --strategy=" +
+        std::string(StrategyName(config.strategy)));
   }
   config.workload.classes = {PartitionClass{join_rate, tuple_range}};
   return options;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "sim/invariants.h"
 
 namespace dcape {
 
@@ -90,6 +91,13 @@ void SplitHost::OnMessage(Tick now, const Message& message) {
     }
     case MessageType::kPausePartitions: {
       const auto& pause = std::get<PausePartitions>(message.payload);
+      if (config_.invariants != nullptr &&
+          !paused_relocations_.insert(pause.relocation_id).second) {
+        config_.invariants->Report(
+            "split host " + std::to_string(config_.node_id) +
+            " received duplicate pause for relocation " +
+            std::to_string(pause.relocation_id));
+      }
       for (auto& [stream, split] : splits_) split->Pause(pause.partitions);
 
       // Drain marker rides the tuple link to the old owner; FIFO delivery
@@ -117,6 +125,13 @@ void SplitHost::OnMessage(Tick now, const Message& message) {
     }
     case MessageType::kUpdateRouting: {
       const auto& update = std::get<UpdateRouting>(message.payload);
+      if (config_.invariants != nullptr &&
+          paused_relocations_.erase(update.relocation_id) == 0) {
+        config_.invariants->Report(
+            "split host " + std::to_string(config_.node_id) +
+            " received routing update for unknown relocation " +
+            std::to_string(update.relocation_id));
+      }
       // Flush buffered tuples to the new owner before acking; they travel
       // the same FIFO link as all future tuples to that engine.
       std::vector<Tuple> released;
@@ -131,6 +146,25 @@ void SplitHost::OnMessage(Tick now, const Message& message) {
                           << released.size() << " buffered tuples to engine "
                           << update.new_owner;
         RouteAndSend(now, std::move(released));
+      }
+
+      if (config_.invariants != nullptr) {
+        for (PartitionId p : update.partitions) {
+          for (auto& [stream, split] : splits_) {
+            if (split->IsPaused(p)) {
+              config_.invariants->Report(
+                  "split host " + std::to_string(config_.node_id) +
+                  " left partition " + std::to_string(p) +
+                  " paused after routing update");
+            }
+          }
+        }
+        if (paused_relocations_.empty() && total_buffered() != 0) {
+          config_.invariants->Report(
+              "split host " + std::to_string(config_.node_id) + " leaked " +
+              std::to_string(total_buffered()) +
+              " buffered tuples outside any relocation");
+        }
       }
 
       RoutingUpdated ack;
@@ -155,6 +189,12 @@ void SplitHost::OnMessage(Tick now, const Message& message) {
 int64_t SplitHost::total_buffered() const {
   int64_t total = 0;
   for (const auto& [stream, split] : splits_) total += split->buffered_count();
+  return total;
+}
+
+int64_t SplitHost::paused_partition_count() const {
+  int64_t total = 0;
+  for (const auto& [stream, split] : splits_) total += split->paused_count();
   return total;
 }
 

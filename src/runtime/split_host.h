@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/ids.h"
@@ -15,6 +16,10 @@
 #include "operators/split.h"
 
 namespace dcape {
+
+namespace sim {
+class InvariantRecorder;
+}  // namespace sim
 
 /// Configuration of one split-host node.
 struct SplitHostConfig {
@@ -30,6 +35,11 @@ struct SplitHostConfig {
   /// Optional projection: truncate payloads to this many bytes before
   /// routing.
   std::optional<int> project_payload_to;
+  /// Chaos-harness invariant sink (unowned; null in production). When
+  /// set, the host reports pause/release protocol violations: duplicate
+  /// pauses, routing updates for unknown relocations, partitions left
+  /// paused after release, buffered tuples leaked outside a relocation.
+  sim::InvariantRecorder* invariants = nullptr;
 };
 
 /// A node hosting split operators for a subset of the input streams.
@@ -64,6 +74,9 @@ class SplitHost {
   /// Tuples buffered across this host's splits (nonzero mid-relocation).
   int64_t total_buffered() const;
 
+  /// Paused partitions across this host's splits (0 at quiescence).
+  int64_t paused_partition_count() const;
+
   /// The selection operator of one hosted stream (null when none).
   const SelectOp* select(StreamId stream) const {
     auto it = selects_.find(stream);
@@ -80,6 +93,9 @@ class SplitHost {
 
   SplitHostConfig config_;
   Network* network_;
+  /// Relocation ids paused here and not yet released (invariant
+  /// bookkeeping; only maintained when config_.invariants is set).
+  std::set<int64_t> paused_relocations_;
   std::map<StreamId, std::unique_ptr<Split>> splits_;
   std::map<StreamId, std::unique_ptr<SelectOp>> selects_;
   std::unique_ptr<ProjectOp> project_;

@@ -1,0 +1,45 @@
+#ifndef DCAPE_SIM_FAULTY_BACKEND_H_
+#define DCAPE_SIM_FAULTY_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/fault_plan.h"
+#include "storage/disk_backend.h"
+
+namespace dcape {
+namespace sim {
+
+/// A DiskBackend decorator that consults a FaultPlan before every
+/// operation: reads can fail transiently or come back truncated, writes
+/// can fail transiently or latch broken. Removes and listings pass
+/// through — the chaos harness targets the data path, and a run never
+/// removes a segment it did not successfully read first.
+///
+/// Thread-safety matches the inner backend's contract: at most one
+/// thread touches a given backend at a time (the SpillStore barriers
+/// before any synchronous access), and the plan keys its disk RNG by
+/// engine, so a shared plan never races across engines either.
+class FaultyBackend : public DiskBackend {
+ public:
+  FaultyBackend(std::unique_ptr<DiskBackend> inner, FaultPlan* plan,
+                EngineId engine);
+
+  Status Write(const std::string& name, std::string_view data) override;
+  StatusOr<std::string> Read(const std::string& name) override;
+  Status Remove(const std::string& name) override;
+  std::vector<std::string> List() const override;
+
+ private:
+  std::unique_ptr<DiskBackend> inner_;
+  FaultPlan* plan_;
+  EngineId engine_;
+};
+
+}  // namespace sim
+}  // namespace dcape
+
+#endif  // DCAPE_SIM_FAULTY_BACKEND_H_

@@ -1,0 +1,82 @@
+#ifndef DCAPE_SIM_HARNESS_H_
+#define DCAPE_SIM_HARNESS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/fault_plan.h"
+#include "sim/scenario.h"
+
+namespace dcape {
+namespace sim {
+
+/// Inputs of one chaos trial.
+struct TrialOptions {
+  uint64_t seed = 0;
+  /// Merged (field-wise max) onto the generated fault spec — used by the
+  /// bug-injection tests to force e.g. duplicate deliveries.
+  FaultSpec extra_faults;
+  /// When non-null, replaces the fault spec entirely (the shrinker's
+  /// handle for disabling classes one at a time).
+  const FaultSpec* override_faults = nullptr;
+  /// Per-trial progress line (null = silent).
+  std::ostream* out = nullptr;
+};
+
+/// Outcome of one chaos trial. `violations` merges the invariant
+/// recorder's reports, the differential oracle's diffs, and the
+/// end-of-run quiescence checks; sorted, so the list — like everything
+/// else here — is identical on replay.
+struct TrialOutcome {
+  uint64_t seed = 0;
+  bool passed = false;
+  /// The sampled scenario as a human-readable flag line.
+  std::string flags;
+  std::vector<std::string> violations;
+  /// Deterministic digest of the whole trial (flags, key counters,
+  /// violations). Two runs of the same seed must produce equal
+  /// signatures — the replay test asserts exactly this.
+  std::string signature;
+  /// Minimal still-failing fault mix, filled in when the sweep ran the
+  /// shrinker on this failure ("none" = fails without any fault).
+  std::string shrunk_faults;
+};
+
+/// Runs one trial: generates the scenario from the seed, runs it under
+/// the fault plan (healed before drain/cleanup), then runs the all-mem
+/// serial golden configuration of the same scenario and diffs the final
+/// join output and per-stream tuple accounting.
+TrialOutcome RunTrial(const TrialOptions& options);
+
+/// Inputs of a trial sweep.
+struct HarnessOptions {
+  int trials = 50;
+  uint64_t base_seed = 0;  // trial i runs with seed base_seed + i
+  FaultSpec extra_faults;
+  /// Greedily shrink each failure's fault mix before reporting.
+  bool shrink = true;
+  bool verbose = false;
+  std::ostream* out = nullptr;
+};
+
+struct HarnessReport {
+  int trials = 0;
+  int failures = 0;
+  std::vector<TrialOutcome> failed;
+};
+
+HarnessReport RunTrials(const HarnessOptions& options);
+
+/// Greedy shrinker: re-runs the failing seed with one fault class
+/// disabled at a time, keeping every disable that still fails. Returns
+/// the description of the minimal still-failing fault mix ("none" means
+/// the failure does not need any fault — a genuine product bug).
+std::string ShrinkFailure(uint64_t seed, const FaultSpec& extra_faults,
+                          std::ostream* out);
+
+}  // namespace sim
+}  // namespace dcape
+
+#endif  // DCAPE_SIM_HARNESS_H_

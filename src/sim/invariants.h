@@ -1,0 +1,49 @@
+#ifndef DCAPE_SIM_INVARIANTS_H_
+#define DCAPE_SIM_INVARIANTS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dcape {
+namespace sim {
+
+/// Collects invariant violations reported by the protocol participants
+/// (engines, split hosts, coordinator) during a chaos trial.
+///
+/// Thread-safe: engines report from pool workers during the parallel
+/// phase of a tick. Consumers sort the collected strings before
+/// comparing or printing — arrival order across threads is the one thing
+/// about a trial that is *not* deterministic.
+class InvariantRecorder {
+ public:
+  void Report(std::string violation) {
+    std::lock_guard<std::mutex> lock(mu_);
+    violations_.push_back(std::move(violation));
+  }
+
+  std::vector<std::string> violations() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return violations_;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return violations_.empty();
+  }
+
+  int64_t count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(violations_.size());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace sim
+}  // namespace dcape
+
+#endif  // DCAPE_SIM_INVARIANTS_H_

@@ -22,9 +22,11 @@ SpillStore::~SpillStore() {
 }
 
 Status SpillStore::Barrier() const {
-  if (io_ == nullptr) return async_error_;
-  Status s = io_->Drain();
-  if (async_error_.ok() && !s.ok()) async_error_ = std::move(s);
+  // The drain result is the executor-global first error, which may
+  // belong to a different store sharing the executor; only the error
+  // our own jobs latched counts here.
+  if (io_ != nullptr) (void)io_->Drain();
+  std::lock_guard<std::mutex> lock(async_mu_);
   return async_error_;
 }
 
@@ -34,10 +36,10 @@ StatusOr<Tick> SpillStore::WriteSegment(PartitionId partition, Tick now,
                                         int64_t raw_bytes) {
   // Surface an earlier failed background write here rather than letting
   // the run continue against a spill area that silently lost state.
-  if (io_ != nullptr && async_error_.ok()) {
-    async_error_ = io_->status();
+  {
+    std::lock_guard<std::mutex> lock(async_mu_);
+    DCAPE_RETURN_IF_ERROR(async_error_);
   }
-  DCAPE_RETURN_IF_ERROR(async_error_);
 
   SpillSegmentMeta meta;
   meta.engine = engine_;
@@ -59,10 +61,16 @@ StatusOr<Tick> SpillStore::WriteSegment(PartitionId partition, Tick now,
 
   if (io_ != nullptr) {
     // Snapshot the blob: the caller's buffer is typically reused or
-    // freed before the background write lands.
-    io_->Submit([backend = backend_.get(), name = meta.object_name,
-                 data = std::string(blob)] {
-      return backend->Write(name, data);
+    // freed before the background write lands. The job latches its own
+    // failure into this store (capturing `this` is safe: the destructor
+    // barriers before the backend or the latch dies).
+    io_->Submit([this, name = meta.object_name, data = std::string(blob)] {
+      Status s = backend_->Write(name, data);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(async_mu_);
+        if (async_error_.ok()) async_error_ = s;
+      }
+      return s;
     });
   } else {
     DCAPE_RETURN_IF_ERROR(backend_->Write(meta.object_name, blob));

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -115,15 +116,20 @@ class SpillStore {
   const Config& config() const { return config_; }
 
  private:
-  /// Waits for queued writes and latches the first async error into
-  /// async_error_. No-op without an executor.
+  /// Waits for queued writes, then returns this store's latched async
+  /// error. No-op without an executor.
   Status Barrier() const;
 
   EngineId engine_;
   Config config_;
   std::unique_ptr<DiskBackend> backend_;
   IoExecutor* io_;
-  mutable Status async_error_ = Status::OK();
+  /// First failure of one of *this store's* background writes, latched
+  /// by the write job itself (the executor may be shared across stores,
+  /// so its global first-error is not ours). Guarded by async_mu_: jobs
+  /// write it from the I/O thread.
+  mutable std::mutex async_mu_;
+  Status async_error_ = Status::OK();
   std::vector<SpillSegmentMeta> segments_;
   int64_t next_segment_id_ = 0;
   int64_t total_spilled_bytes_ = 0;

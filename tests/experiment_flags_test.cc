@@ -98,6 +98,90 @@ TEST(ExperimentFlagsTest, PlacementMustMatchEngineCount) {
   EXPECT_TRUE(Parse({"--engines=2", "--placement=0.5,0.5"}).ok());
 }
 
+TEST(ExperimentFlagsTest, RejectsDuplicateFlags) {
+  StatusOr<ExperimentOptions> options =
+      Parse({"--engines=3", "--engines=4"});
+  ASSERT_FALSE(options.ok());
+  EXPECT_EQ(options.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(options.status().message().find("duplicate flag --engines"),
+            std::string::npos);
+  // Boolean flags too, and duplicates with different values.
+  EXPECT_FALSE(Parse({"--restore", "--strategy=lazy-disk", "--restore"}).ok());
+  EXPECT_FALSE(Parse({"--seed=1", "--seed=1"}).ok());
+  // Same key, one bare and one with a value, is still a duplicate.
+  StatusOr<ExperimentOptions> mixed = Parse({"--verbose", "--verbose=1"});
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_NE(mixed.status().message().find("duplicate flag --verbose"),
+            std::string::npos);
+}
+
+TEST(ExperimentFlagsTest, UnknownFlagErrorNamesTheFlag) {
+  StatusOr<ExperimentOptions> options = Parse({"--warpdrive=9"});
+  ASSERT_FALSE(options.ok());
+  EXPECT_NE(options.status().message().find("--warpdrive"),
+            std::string::npos);
+}
+
+TEST(ExperimentFlagsTest, OutOfRangeThetaAndTauNameTheFlag) {
+  for (const char* arg : {"--theta=0", "--theta=1", "--theta=-0.3",
+                          "--theta=1.01"}) {
+    StatusOr<ExperimentOptions> options =
+        Parse({"--strategy=lazy-disk", arg});
+    ASSERT_FALSE(options.ok()) << arg;
+    EXPECT_NE(options.status().message().find("--theta"), std::string::npos)
+        << options.status().ToString();
+  }
+  StatusOr<ExperimentOptions> tau =
+      Parse({"--strategy=lazy-disk", "--tau-sec=-1"});
+  ASSERT_FALSE(tau.ok());
+  EXPECT_NE(tau.status().message().find("--tau-sec"), std::string::npos);
+}
+
+TEST(ExperimentFlagsTest, SpillFlagsRequireASpillingStrategy) {
+  for (const char* arg :
+       {"--restore", "--spill-fraction=0.4", "--spill-policy=push-largest"}) {
+    // Default strategy (all-mem) never spills.
+    StatusOr<ExperimentOptions> implicit = Parse({arg});
+    ASSERT_FALSE(implicit.ok()) << arg;
+    const std::string flag_name =
+        std::string(arg).substr(0, std::string(arg).find('='));
+    EXPECT_NE(implicit.status().message().find(flag_name), std::string::npos)
+        << implicit.status().ToString();
+    // Explicit non-spilling strategy, either flag order.
+    EXPECT_FALSE(Parse({"--strategy=relocation-only", arg}).ok()) << arg;
+    EXPECT_FALSE(Parse({arg, "--strategy=relocation-only"}).ok()) << arg;
+    // Any spilling strategy accepts it.
+    EXPECT_TRUE(Parse({"--strategy=spill-only", arg}).ok()) << arg;
+    EXPECT_TRUE(Parse({"--strategy=lazy-disk", arg}).ok()) << arg;
+  }
+}
+
+TEST(ExperimentFlagsTest, RelocationFlagsRequireARelocatingStrategy) {
+  for (const char* arg :
+       {"--theta=0.7", "--tau-sec=30", "--relocation-model=pairwise"}) {
+    StatusOr<ExperimentOptions> implicit = Parse({arg});
+    ASSERT_FALSE(implicit.ok()) << arg;
+    const std::string flag_name =
+        std::string(arg).substr(0, std::string(arg).find('='));
+    EXPECT_NE(implicit.status().message().find(flag_name), std::string::npos)
+        << implicit.status().ToString();
+    EXPECT_FALSE(Parse({"--strategy=spill-only", arg}).ok()) << arg;
+    EXPECT_TRUE(Parse({"--strategy=relocation-only", arg}).ok()) << arg;
+    EXPECT_TRUE(Parse({"--strategy=active-disk", arg}).ok()) << arg;
+  }
+}
+
+TEST(ExperimentFlagsTest, LambdaRequiresActiveDisk) {
+  for (const char* strategy :
+       {"--strategy=all-mem", "--strategy=spill-only",
+        "--strategy=relocation-only", "--strategy=lazy-disk"}) {
+    StatusOr<ExperimentOptions> options = Parse({strategy, "--lambda=3"});
+    ASSERT_FALSE(options.ok()) << strategy;
+    EXPECT_NE(options.status().message().find("--lambda"), std::string::npos);
+  }
+  EXPECT_TRUE(Parse({"--strategy=active-disk", "--lambda=3"}).ok());
+}
+
 TEST(ExperimentFlagsTest, HelpIsAnError) {
   StatusOr<ExperimentOptions> options = Parse({"--help"});
   ASSERT_FALSE(options.ok());

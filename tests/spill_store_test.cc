@@ -186,29 +186,73 @@ TEST(IoExecutorTest, DrainIsABarrierAndLatchesFirstError) {
   EXPECT_EQ(io.status().message(), "boom-1");
 }
 
+// A backend whose writes always fail with a recognizable message.
+class FailingBackend : public DiskBackend {
+ public:
+  explicit FailingBackend(std::string error = "disk full")
+      : error_(std::move(error)) {}
+  Status Write(const std::string&, std::string_view) override {
+    return Status::Internal(error_);
+  }
+  StatusOr<std::string> Read(const std::string& name) override {
+    return Status::NotFound(name);
+  }
+  Status Remove(const std::string& name) override {
+    return Status::NotFound(name);
+  }
+  std::vector<std::string> List() const override { return {}; }
+
+ private:
+  std::string error_;
+};
+
 TEST(SpillStoreTest, AsyncWriteErrorSurfacesOnNextOperation) {
-  // A backend whose writes always fail.
-  class FailingBackend : public DiskBackend {
-   public:
-    Status Write(const std::string&, std::string_view) override {
-      return Status::Internal("disk full");
-    }
-    StatusOr<std::string> Read(const std::string& name) override {
-      return Status::NotFound(name);
-    }
-    Status Remove(const std::string& name) override {
-      return Status::NotFound(name);
-    }
-    std::vector<std::string> List() const override { return {}; }
-  };
   IoExecutor io;
   SpillStore store(/*engine=*/0, SpillStore::Config{},
                    std::make_unique<FailingBackend>(), &io);
   ASSERT_TRUE(store.WriteSegment(1, 0, "abc", 1).ok());  // queued
   ASSERT_TRUE(io.Drain().code() == StatusCode::kInternal);
-  // The latched failure surfaces on the next write.
-  EXPECT_EQ(store.WriteSegment(1, 1, "def", 1).status().code(),
-            StatusCode::kInternal);
+  // The latched failure surfaces on the next write, carrying the
+  // backend's original error text, not a generic drain error.
+  Status next = store.WriteSegment(1, 1, "def", 1).status();
+  EXPECT_EQ(next.code(), StatusCode::kInternal);
+  EXPECT_EQ(next.message(), "disk full");
+}
+
+TEST(SpillStoreTest, AsyncWriteErrorIsSticky) {
+  IoExecutor io;
+  SpillStore store(/*engine=*/0, SpillStore::Config{},
+                   std::make_unique<FailingBackend>(), &io);
+  ASSERT_TRUE(store.WriteSegment(1, 0, "abc", 1).ok());
+  (void)io.Drain();
+  // Every later operation keeps failing with the first error.
+  EXPECT_EQ(store.WriteSegment(1, 1, "def", 1).status().message(),
+            "disk full");
+  EXPECT_EQ(store.ReadSegment(store.segments()[0]).status().message(),
+            "disk full");
+  EXPECT_EQ(store.RemoveSegment(0).message(), "disk full");
+}
+
+TEST(SpillStoreTest, SharedExecutorErrorStaysWithItsOwnStore) {
+  // Two stores share one executor. A failed write of store A must not
+  // poison store B: the executor-global first error is not per-store.
+  IoExecutor io;
+  SpillStore failing(/*engine=*/0, SpillStore::Config{},
+                     std::make_unique<FailingBackend>("engine 0 disk died"),
+                     &io);
+  SpillStore healthy(/*engine=*/1, SpillStore::Config{},
+                     std::make_unique<MemoryDiskBackend>(), &io);
+  ASSERT_TRUE(failing.WriteSegment(1, 0, "abc", 1).ok());  // queued, will fail
+  ASSERT_TRUE(healthy.WriteSegment(2, 0, "xyz", 1).ok());
+  ASSERT_EQ(io.Drain().code(), StatusCode::kInternal);
+
+  // The healthy store keeps working across all operations...
+  EXPECT_EQ(healthy.ReadSegment(healthy.segments()[0]).value(), "xyz");
+  EXPECT_TRUE(healthy.WriteSegment(2, 1, "more", 1).ok());
+  EXPECT_TRUE(healthy.RemoveSegment(0).ok());
+  // ...while the failing store reports its own error, by original text.
+  EXPECT_EQ(failing.WriteSegment(1, 1, "def", 1).status().message(),
+            "engine 0 disk died");
 }
 
 }  // namespace
