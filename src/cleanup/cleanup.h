@@ -78,7 +78,7 @@ class CleanupProcessor {
   /// generations), and per-partition outcomes are merged back in fixed
   /// partition order, so CleanupStats and the result vector are
   /// bit-identical to the serial run for any worker count.
-  StatusOr<CleanupStats> Run(
+  [[nodiscard]] StatusOr<CleanupStats> Run(
       const std::vector<const SpillStore*>& spill_stores,
       const std::vector<const StateManager*>& state_managers,
       ExecPool* pool = nullptr) const;

@@ -1,0 +1,75 @@
+#ifndef DCAPE_COMMON_MUTEX_H_
+#define DCAPE_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dcape {
+
+/// A std::mutex annotated as a Clang thread-safety capability.
+///
+/// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+/// attributes, so `-Wthread-safety` cannot see acquisitions through
+/// them and every GUARDED_BY member would warn even in correct code.
+/// This wrapper (plus MutexLock and CondVar below) is the annotated
+/// vocabulary all concurrent DCAPE code uses instead.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// BasicLockable interface (lowercase), required by
+  /// std::condition_variable_any; prefer Lock/Unlock at call sites.
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII critical section over a Mutex (the annotated std::lock_guard).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex.
+///
+/// Wait releases `mu` while blocked and reacquires it before
+/// returning, like std::condition_variable; the REQUIRES annotation
+/// makes the analysis enforce that callers hold the mutex around the
+/// wait loop. There is deliberately no predicate overload: the
+/// `while (!cond) cv.Wait(mu);` form keeps the predicate in the
+/// enclosing (annotated) function where the analysis can check the
+/// guarded reads it performs.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dcape
+
+#endif  // DCAPE_COMMON_MUTEX_H_

@@ -34,7 +34,13 @@ const char* StatusCodeName(StatusCode code);
 /// Usage:
 ///   Status s = DoThing();
 ///   if (!s.ok()) return s;
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a returned Status is a
+/// compile error under -Werror — on the spill/relocation paths every
+/// ignored error is lost state. Deliberately ignoring one (e.g. a
+/// best-effort barrier in a destructor) must be spelled `(void)Call();`
+/// so the decision stays visible at the call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -77,7 +83,7 @@ class Status {
   }
 
   /// True iff this status represents success.
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -98,8 +104,9 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Either a value of type `T` or an error `Status`. Accessing the value of
 /// an errored StatusOr aborts the process (library invariant violation).
+/// [[nodiscard]] like Status: a dropped StatusOr is a dropped error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a value (implicit by design, mirroring absl).
   StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -111,10 +118,10 @@ class StatusOr {
     DCAPE_CHECK(!std::get<Status>(rep_).ok());
   }
 
-  bool ok() const { return std::holds_alternative<T>(rep_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(rep_); }
 
   /// The error status; `Status::OK()` when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(rep_);
   }

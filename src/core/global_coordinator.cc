@@ -23,6 +23,26 @@ GlobalCoordinator::GlobalCoordinator(const CoordinatorConfig& config,
                  config_.engine_memory_thresholds.size());
 }
 
+const char* GlobalCoordinator::PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kAwaitPartitions:
+      return "await-partitions";
+    case Phase::kAwaitPauseAcks:
+      return "await-pause-acks";
+    case Phase::kAwaitInstall:
+      return "await-install";
+    case Phase::kAwaitRoutingAcks:
+      return "await-routing-acks";
+    default:
+      // Every switch over the relocation protocol phase carries this
+      // arm (enforced by dcape_lint's phase-switch check): a phase
+      // value outside the enum means protocol-state corruption, which
+      // must abort, not fall through to arbitrary behavior.
+      DCAPE_CHECK(false);
+      return "corrupt-phase";
+  }
+}
+
 bool GlobalCoordinator::GuardProtocol(const char* what, int64_t id,
                                       Phase expected) {
   if (inflight_.has_value() && inflight_->id == id &&
@@ -33,8 +53,10 @@ bool GlobalCoordinator::GuardProtocol(const char* what, int64_t id,
     config_.invariants->Report(
         std::string("coordinator received ") + what + " for relocation " +
         std::to_string(id) +
-        (inflight_.has_value() ? " in the wrong phase"
-                               : " with no relocation in flight"));
+        (inflight_.has_value()
+             ? std::string(" in phase ") + PhaseName(inflight_->phase) +
+                   " (expected " + PhaseName(expected) + ")"
+             : std::string(" with no relocation in flight")));
   }
   return false;
 }

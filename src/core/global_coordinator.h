@@ -109,6 +109,10 @@ class GlobalCoordinator {
     int64_t amount_bytes = 0;
   };
 
+  /// Stable human-readable name of a protocol phase, for invariant and
+  /// log messages. Aborts on a value outside the enum.
+  static const char* PhaseName(Phase phase);
+
   /// True when `id` matches the in-flight relocation in phase
   /// `expected`; otherwise reports to the invariant recorder (when
   /// configured) and returns false.

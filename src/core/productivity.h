@@ -30,7 +30,8 @@ enum class ProductivityModel {
 const char* ProductivityModelName(ProductivityModel model);
 
 /// Parses a display name back to the enum.
-StatusOr<ProductivityModel> ParseProductivityModel(std::string_view name);
+[[nodiscard]] StatusOr<ProductivityModel> ParseProductivityModel(
+    std::string_view name);
 
 /// Estimator settings.
 struct ProductivityConfig {

@@ -32,7 +32,7 @@ enum class AdaptationStrategy {
 const char* StrategyName(AdaptationStrategy strategy);
 
 /// Parses a display name back to the enum (InvalidArgument on unknown).
-StatusOr<AdaptationStrategy> ParseStrategy(std::string_view name);
+[[nodiscard]] StatusOr<AdaptationStrategy> ParseStrategy(std::string_view name);
 
 /// True when the strategy lets engines spill locally on memory overflow.
 constexpr bool StrategySpillsLocally(AdaptationStrategy s) {
@@ -69,7 +69,7 @@ enum class SpillPolicy {
 const char* SpillPolicyName(SpillPolicy policy);
 
 /// Parses a display name back to the enum.
-StatusOr<SpillPolicy> ParseSpillPolicy(std::string_view name);
+[[nodiscard]] StatusOr<SpillPolicy> ParseSpillPolicy(std::string_view name);
 
 /// Local spill controller settings (the paper's threshold^mem, s_timer and
 /// the k% push volume of §3.2).
@@ -121,7 +121,8 @@ enum class RelocationModel {
 const char* RelocationModelName(RelocationModel model);
 
 /// Parses a display name back to the enum.
-StatusOr<RelocationModel> ParseRelocationModel(std::string_view name);
+[[nodiscard]] StatusOr<RelocationModel> ParseRelocationModel(
+    std::string_view name);
 
 /// Global relocation settings (threshold^sr = θ_r, sr_timer, τ_m of §4.2).
 struct RelocationConfig {

@@ -15,7 +15,7 @@ namespace dcape {
 std::string SeriesToCsv(const std::vector<const TimeSeries*>& series);
 
 /// Writes SeriesToCsv output to a file.
-Status WriteSeriesCsv(const std::string& path,
+[[nodiscard]] Status WriteSeriesCsv(const std::string& path,
                       const std::vector<const TimeSeries*>& series);
 
 }  // namespace dcape

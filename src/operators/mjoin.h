@@ -66,7 +66,7 @@ class MJoin {
   /// partitions are skipped. A failed segment write is survivable: the
   /// extracted group is reinstalled and reported via
   /// `SpillOutcome::failed_groups` (a later spill check retries).
-  StatusOr<SpillOutcome> SpillPartitions(
+  [[nodiscard]] StatusOr<SpillOutcome> SpillPartitions(
       const std::vector<PartitionId>& partitions, Tick now);
 
   StateManager& state() { return state_; }

@@ -51,7 +51,7 @@ class Cluster {
   void Drain();
 
   /// Runs the cleanup phase over the engines' current disks and states.
-  StatusOr<CleanupStats> RunCleanup();
+  [[nodiscard]] StatusOr<CleanupStats> RunCleanup();
 
   /// Builds the RunResult from the current series/counters (Run() does
   /// this automatically).

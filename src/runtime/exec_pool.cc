@@ -14,10 +14,10 @@ ExecPool::ExecPool(int num_workers) : num_workers_(num_workers) {
 
 ExecPool::~ExecPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  batch_ready_.notify_all();
+  batch_ready_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -28,17 +28,17 @@ void ExecPool::ParallelFor(int n, const std::function<void(int)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     batch_size_ = n;
     next_index_ = 0;
     remaining_ = n;
     ++epoch_;
   }
-  batch_ready_.notify_all();
+  batch_ready_.NotifyAll();
   RunBatch();
-  std::unique_lock<std::mutex> lock(mu_);
-  batch_done_.wait(lock, [this] { return remaining_ == 0; });
+  MutexLock lock(mu_);
+  while (remaining_ != 0) batch_done_.Wait(mu_);
   fn_ = nullptr;
 }
 
@@ -47,15 +47,15 @@ void ExecPool::RunBatch() {
     const std::function<void(int)>* fn;
     int index;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (next_index_ >= batch_size_) return;
       index = next_index_++;
       fn = fn_;
     }
     (*fn)(index);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--remaining_ == 0) batch_done_.notify_all();
+      MutexLock lock(mu_);
+      if (--remaining_ == 0) batch_done_.NotifyAll();
     }
   }
 }
@@ -64,10 +64,8 @@ void ExecPool::WorkerLoop() {
   int64_t seen_epoch = 0;
   while (true) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      batch_ready_.wait(lock, [this, seen_epoch] {
-        return stopping_ || epoch_ != seen_epoch;
-      });
+      MutexLock lock(mu_);
+      while (!stopping_ && epoch_ == seen_epoch) batch_ready_.Wait(mu_);
       if (stopping_) return;
       seen_epoch = epoch_;
     }

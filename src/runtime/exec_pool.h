@@ -1,12 +1,13 @@
 #ifndef DCAPE_RUNTIME_EXEC_POOL_H_
 #define DCAPE_RUNTIME_EXEC_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dcape {
 
@@ -40,28 +41,28 @@ class ExecPool {
   /// Invokes `fn(i)` for every i in [0, n), distributed over the lanes,
   /// and returns once all n invocations completed (the join barrier).
   /// With one lane (or n <= 1) the calls run inline in index order.
-  void ParallelFor(int n, const std::function<void(int)>& fn);
+  void ParallelFor(int n, const std::function<void(int)>& fn) EXCLUDES(mu_);
 
   int num_workers() const { return num_workers_; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   /// Claims and runs task indices until the current batch is exhausted.
-  void RunBatch();
+  void RunBatch() EXCLUDES(mu_);
 
   const int num_workers_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable batch_ready_;
-  std::condition_variable batch_done_;
+  Mutex mu_;
+  CondVar batch_ready_;
+  CondVar batch_done_;
   /// Batch state, all guarded by mu_.
-  const std::function<void(int)>* fn_ = nullptr;
-  int batch_size_ = 0;
-  int next_index_ = 0;
-  int remaining_ = 0;
-  int64_t epoch_ = 0;
-  bool stopping_ = false;
+  const std::function<void(int)>* fn_ GUARDED_BY(mu_) = nullptr;
+  int batch_size_ GUARDED_BY(mu_) = 0;
+  int next_index_ GUARDED_BY(mu_) = 0;
+  int remaining_ GUARDED_BY(mu_) = 0;
+  int64_t epoch_ GUARDED_BY(mu_) = 0;
+  bool stopping_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace dcape

@@ -49,7 +49,7 @@ struct ExperimentOptions {
 ///   --segment-format=v1|v2 [v2]  --file-backend  --async-io
 ///   --csv=PATH  --record-trace=PATH  --replay-trace=PATH
 ///   --quiet (no tables)       --verbose (narrate adaptations)
-StatusOr<ExperimentOptions> ParseExperimentFlags(
+[[nodiscard]] StatusOr<ExperimentOptions> ParseExperimentFlags(
     const std::vector<std::string>& args);
 
 /// The flag reference shown by `dcape_run --help`.

@@ -2,9 +2,11 @@
 #define DCAPE_SIM_INVARIANTS_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dcape {
 namespace sim {
@@ -18,29 +20,29 @@ namespace sim {
 /// about a trial that is *not* deterministic.
 class InvariantRecorder {
  public:
-  void Report(std::string violation) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Report(std::string violation) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     violations_.push_back(std::move(violation));
   }
 
-  std::vector<std::string> violations() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> violations() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return violations_;
   }
 
-  bool empty() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool empty() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return violations_.empty();
   }
 
-  int64_t count() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t count() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return static_cast<int64_t>(violations_.size());
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::string> violations_;
+  mutable Mutex mu_;
+  std::vector<std::string> violations_ GUARDED_BY(mu_);
 };
 
 }  // namespace sim

@@ -184,6 +184,29 @@ int64_t PartitionGroup::SerializedByteSize() const {
   return 16 + 8 * static_cast<int64_t>(num_streams_) + bytes_;
 }
 
+namespace {
+
+/// The hash tables' buckets in ascending key order. Serialization must
+/// not follow hash-iteration order: it depends on the standard
+/// library's table layout and on the group's insertion history, so the
+/// same logical state would encode to different bytes on the spill
+/// sender and on a receiver that merged it — blobs would be neither
+/// canonical nor comparable across builds. Collecting into a sorted
+/// vector makes the encoding a pure function of the state.
+std::vector<const std::pair<const JoinKey, std::vector<Tuple>>*>
+SortedBuckets(const std::unordered_map<JoinKey, std::vector<Tuple>>& table) {
+  std::vector<const std::pair<const JoinKey, std::vector<Tuple>>*> buckets;
+  buckets.reserve(table.size());
+  // dcape-lint: allow(unordered-net) — iteration order is erased by the
+  // sort below; emission is key-sorted, not hash-ordered.
+  for (const auto& entry : table) buckets.push_back(&entry);
+  std::sort(buckets.begin(), buckets.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return buckets;
+}
+
+}  // namespace
+
 void PartitionGroup::Serialize(std::string* out, SegmentFormat format) const {
   out->reserve(out->size() + static_cast<size_t>(SerializedByteSize()));
   ByteWriter writer(out);
@@ -192,14 +215,14 @@ void PartitionGroup::Serialize(std::string* out, SegmentFormat format) const {
     writer.PutI32(num_streams_);
     writer.PutI64(outputs_);
     for (int s = 0; s < num_streams_; ++s) {
-      const auto& table = tables_[static_cast<size_t>(s)];
+      const auto buckets = SortedBuckets(tables_[static_cast<size_t>(s)]);
       int64_t stream_tuples = 0;
-      for (const auto& [key, tuples] : table) {
-        stream_tuples += static_cast<int64_t>(tuples.size());
+      for (const auto* bucket : buckets) {
+        stream_tuples += static_cast<int64_t>(bucket->second.size());
       }
       writer.PutI64(stream_tuples);
-      for (const auto& [key, tuples] : table) {
-        for (const Tuple& t : tuples) EncodeTuple(t, out);
+      for (const auto* bucket : buckets) {
+        for (const Tuple& t : bucket->second) EncodeTuple(t, out);
       }
     }
     return;
@@ -213,14 +236,14 @@ void PartitionGroup::Serialize(std::string* out, SegmentFormat format) const {
   writer.PutVarint(static_cast<uint64_t>(num_streams_));
   writer.PutZigzag(outputs_);
   for (int s = 0; s < num_streams_; ++s) {
-    const auto& table = tables_[static_cast<size_t>(s)];
-    writer.PutVarint(table.size());
-    for (const auto& [key, tuples] : table) {
-      writer.PutZigzag(key);
-      writer.PutVarint(tuples.size());
+    const auto buckets = SortedBuckets(tables_[static_cast<size_t>(s)]);
+    writer.PutVarint(buckets.size());
+    for (const auto* bucket : buckets) {
+      writer.PutZigzag(bucket->first);
+      writer.PutVarint(bucket->second.size());
       int64_t prev_seq = 0;
       Tick prev_ts = 0;
-      for (const Tuple& t : tuples) {
+      for (const Tuple& t : bucket->second) {
         writer.PutZigzag(t.seq - prev_seq);
         writer.PutZigzag(t.timestamp - prev_ts);
         writer.PutZigzag(t.value);

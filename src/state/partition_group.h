@@ -93,7 +93,8 @@ class PartitionGroup {
   /// Reconstructs a group from Serialize output of either format (the
   /// version is sniffed: the v2 magic decodes as a negative v1 partition
   /// id, which no v1 encoder produces).
-  static StatusOr<PartitionGroup> Deserialize(std::string_view data);
+  [[nodiscard]] static StatusOr<PartitionGroup> Deserialize(
+      std::string_view data);
 
   /// The tuples of one input stream, grouped by join key. Exposed for the
   /// cleanup processor, which joins across generations.

@@ -77,7 +77,7 @@ class StateManager {
 
   /// Installs a serialized group (from relocation). If a group for the
   /// same partition already exists, the states are merged.
-  Status InstallGroup(std::string_view blob);
+  [[nodiscard]] Status InstallGroup(std::string_view blob);
 
   /// Marks groups as locked: locked groups are skipped by ExtractGroups
   /// calls with `respect_locks` semantics (spill must not race with an

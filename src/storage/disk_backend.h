@@ -20,11 +20,13 @@ class DiskBackend {
   virtual ~DiskBackend() = default;
 
   /// Writes (or overwrites) the named object.
-  virtual Status Write(const std::string& name, std::string_view data) = 0;
+  [[nodiscard]] virtual Status Write(const std::string& name,
+                                     std::string_view data) = 0;
   /// Reads the named object in full.
-  virtual StatusOr<std::string> Read(const std::string& name) = 0;
+  [[nodiscard]] virtual StatusOr<std::string> Read(
+      const std::string& name) = 0;
   /// Removes the named object. NotFound if absent.
-  virtual Status Remove(const std::string& name) = 0;
+  [[nodiscard]] virtual Status Remove(const std::string& name) = 0;
   /// Names of all stored objects, sorted.
   virtual std::vector<std::string> List() const = 0;
 };

@@ -8,60 +8,59 @@ IoExecutor::IoExecutor() : worker_([this] { WorkerLoop(); }) {}
 
 IoExecutor::~IoExecutor() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   worker_.join();
 }
 
 void IoExecutor::Submit(std::function<Status()> job) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(job));
     const int64_t depth =
         static_cast<int64_t>(queue_.size()) + in_flight_;
     if (depth > high_water_) high_water_ = depth;
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 Status IoExecutor::Drain() {
-  std::unique_lock<std::mutex> lock(mu_);
-  drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || in_flight_ != 0) drain_cv_.Wait(mu_);
   return first_error_;
 }
 
 Status IoExecutor::status() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return first_error_;
 }
 
 int64_t IoExecutor::queue_high_water() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return high_water_;
 }
 
 void IoExecutor::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (true) {
-    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
     // Finish queued work even when stopping: the destructor's contract
     // is drain-then-join, so a pending spill write is never dropped.
-    if (queue_.empty()) {
-      if (stop_) return;
-      continue;
-    }
+    // An empty queue here therefore means stop.
+    if (queue_.empty()) break;
     std::function<Status()> job = std::move(queue_.front());
     queue_.pop_front();
     in_flight_ = 1;
-    lock.unlock();
+    mu_.Unlock();
     Status s = job();
-    lock.lock();
+    mu_.Lock();
     in_flight_ = 0;
     if (first_error_.ok() && !s.ok()) first_error_ = std::move(s);
-    if (queue_.empty()) drain_cv_.notify_all();
+    if (queue_.empty()) drain_cv_.NotifyAll();
   }
+  mu_.Unlock();
 }
 
 }  // namespace dcape

@@ -1,14 +1,14 @@
 #ifndef DCAPE_STORAGE_IO_EXECUTOR_H_
 #define DCAPE_STORAGE_IO_EXECUTOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dcape {
 
@@ -41,32 +41,32 @@ class IoExecutor {
 
   /// Enqueues `job` for the background thread. Never blocks (the queue
   /// is unbounded; the high-water counter records how deep it got).
-  void Submit(std::function<Status()> job);
+  void Submit(std::function<Status()> job) EXCLUDES(mu_);
 
   /// Blocks until every job submitted before this call has completed.
   /// Returns the first error any job has produced so far (sticky).
-  Status Drain();
+  [[nodiscard]] Status Drain() EXCLUDES(mu_);
 
   /// First error produced by any completed job, without draining.
-  Status status() const;
+  [[nodiscard]] Status status() const EXCLUDES(mu_);
 
   /// Deepest the queue has been, including the job in flight. Depends on
   /// wall-clock scheduling, so it is observability-only — never compare
   /// it across runs.
-  int64_t queue_high_water() const;
+  int64_t queue_high_water() const EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // signalled on submit / stop
-  std::condition_variable drain_cv_;  // signalled when a job finishes
-  std::deque<std::function<Status()>> queue_;
+  mutable Mutex mu_;
+  CondVar work_cv_;   // signalled on submit / stop
+  CondVar drain_cv_;  // signalled when a job finishes
+  std::deque<std::function<Status()>> queue_ GUARDED_BY(mu_);
   /// Jobs popped but still executing (0 or 1 with a single worker).
-  int in_flight_ = 0;
-  int64_t high_water_ = 0;
-  Status first_error_ = Status::OK();
-  bool stop_ = false;
+  int in_flight_ GUARDED_BY(mu_) = 0;
+  int64_t high_water_ GUARDED_BY(mu_) = 0;
+  Status first_error_ GUARDED_BY(mu_) = Status::OK();
+  bool stop_ GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 

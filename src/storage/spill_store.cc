@@ -26,7 +26,7 @@ Status SpillStore::Barrier() const {
   // belong to a different store sharing the executor; only the error
   // our own jobs latched counts here.
   if (io_ != nullptr) (void)io_->Drain();
-  std::lock_guard<std::mutex> lock(async_mu_);
+  MutexLock lock(async_mu_);
   return async_error_;
 }
 
@@ -37,7 +37,7 @@ StatusOr<Tick> SpillStore::WriteSegment(PartitionId partition, Tick now,
   // Surface an earlier failed background write here rather than letting
   // the run continue against a spill area that silently lost state.
   {
-    std::lock_guard<std::mutex> lock(async_mu_);
+    MutexLock lock(async_mu_);
     DCAPE_RETURN_IF_ERROR(async_error_);
   }
 
@@ -67,7 +67,7 @@ StatusOr<Tick> SpillStore::WriteSegment(PartitionId partition, Tick now,
     io_->Submit([this, name = meta.object_name, data = std::string(blob)] {
       Status s = backend_->Write(name, data);
       if (!s.ok()) {
-        std::lock_guard<std::mutex> lock(async_mu_);
+        MutexLock lock(async_mu_);
         if (async_error_.ok()) async_error_ = s;
       }
       return s;

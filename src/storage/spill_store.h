@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/ids.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/virtual_clock.h"
 #include "storage/disk_backend.h"
 #include "storage/io_executor.h"
@@ -80,20 +81,25 @@ class SpillStore {
   /// fixed-width size of the same state for the compression counters
   /// (defaults to the blob size). A failed *asynchronous* write surfaces
   /// as the error of a later WriteSegment / ReadSegment / RemoveSegment.
-  StatusOr<Tick> WriteSegment(PartitionId partition, Tick now,
-                              std::string_view blob, int64_t tuple_count,
-                              bool evicted = false, int64_t raw_bytes = -1);
+  [[nodiscard]] StatusOr<Tick> WriteSegment(PartitionId partition, Tick now,
+                                            std::string_view blob,
+                                            int64_t tuple_count,
+                                            bool evicted = false,
+                                            int64_t raw_bytes = -1)
+      EXCLUDES(async_mu_);
 
   /// Reads a segment back (barriers on outstanding async writes).
   /// `io_ticks` (optional out) receives the virtual read duration,
   /// charged by the cleanup cost model.
-  StatusOr<std::string> ReadSegment(const SpillSegmentMeta& meta,
-                                    Tick* io_ticks = nullptr) const;
+  [[nodiscard]] StatusOr<std::string> ReadSegment(
+      const SpillSegmentMeta& meta, Tick* io_ticks = nullptr) const
+      EXCLUDES(async_mu_);
 
   /// Removes a segment (used by online restore once the generation has
   /// been merged back into memory). NotFound for unknown ids. O(log n):
   /// segments_ is sorted by the monotonically assigned segment id.
-  Status RemoveSegment(int64_t segment_id);
+  [[nodiscard]] Status RemoveSegment(int64_t segment_id)
+      EXCLUDES(async_mu_);
 
   /// All segments in spill order.
   const std::vector<SpillSegmentMeta>& segments() const { return segments_; }
@@ -118,7 +124,7 @@ class SpillStore {
  private:
   /// Waits for queued writes, then returns this store's latched async
   /// error. No-op without an executor.
-  Status Barrier() const;
+  [[nodiscard]] Status Barrier() const EXCLUDES(async_mu_);
 
   EngineId engine_;
   Config config_;
@@ -126,10 +132,10 @@ class SpillStore {
   IoExecutor* io_;
   /// First failure of one of *this store's* background writes, latched
   /// by the write job itself (the executor may be shared across stores,
-  /// so its global first-error is not ours). Guarded by async_mu_: jobs
-  /// write it from the I/O thread.
-  mutable std::mutex async_mu_;
-  Status async_error_ = Status::OK();
+  /// so its global first-error is not ours). Jobs write it from the I/O
+  /// thread.
+  mutable Mutex async_mu_;
+  Status async_error_ GUARDED_BY(async_mu_) = Status::OK();
   std::vector<SpillSegmentMeta> segments_;
   int64_t next_segment_id_ = 0;
   int64_t total_spilled_bytes_ = 0;

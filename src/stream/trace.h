@@ -55,15 +55,16 @@ StatusOr<std::vector<TraceRecord>> DecodeTrace(std::string_view data,
                                                int* num_streams = nullptr);
 
 /// Writes/reads traces as files.
-Status WriteTraceFile(const std::string& path, std::string_view data);
-StatusOr<std::string> ReadTraceFile(const std::string& path);
+[[nodiscard]] Status WriteTraceFile(const std::string& path,
+                                    std::string_view data);
+[[nodiscard]] StatusOr<std::string> ReadTraceFile(const std::string& path);
 
 /// Replays a trace as an InputSource: each record is emitted at its
 /// recorded arrival tick.
 class TraceSource : public InputSource {
  public:
   /// Parses and validates `data`.
-  static StatusOr<TraceSource> FromBytes(std::string_view data);
+  [[nodiscard]] static StatusOr<TraceSource> FromBytes(std::string_view data);
 
   std::vector<Tuple> EmitForTick(Tick now) override;
   int64_t total_emitted() const override { return emitted_; }

@@ -58,16 +58,16 @@ class ByteReader {
  public:
   explicit ByteReader(std::string_view data) : data_(data), pos_(0) {}
 
-  StatusOr<uint8_t> GetU8();
-  StatusOr<uint32_t> GetU32();
-  StatusOr<uint64_t> GetU64();
-  StatusOr<int32_t> GetI32();
-  StatusOr<int64_t> GetI64();
-  StatusOr<std::string> GetString();
+  [[nodiscard]] StatusOr<uint8_t> GetU8();
+  [[nodiscard]] StatusOr<uint32_t> GetU32();
+  [[nodiscard]] StatusOr<uint64_t> GetU64();
+  [[nodiscard]] StatusOr<int32_t> GetI32();
+  [[nodiscard]] StatusOr<int64_t> GetI64();
+  [[nodiscard]] StatusOr<std::string> GetString();
 
-  StatusOr<uint64_t> GetVarint();
-  StatusOr<int64_t> GetZigzag();
-  StatusOr<std::string> GetVString();
+  [[nodiscard]] StatusOr<uint64_t> GetVarint();
+  [[nodiscard]] StatusOr<int64_t> GetZigzag();
+  [[nodiscard]] StatusOr<std::string> GetVString();
 
   /// Bytes not yet consumed.
   size_t remaining() const { return data_.size() - pos_; }
@@ -98,7 +98,7 @@ size_t TupleBatchSerializedSize(const TupleBatch& batch);
 void EncodeTuple(const Tuple& tuple, std::string* out);
 
 /// Deserializes one v1 tuple from the reader's current position.
-StatusOr<Tuple> DecodeTuple(ByteReader* reader);
+[[nodiscard]] StatusOr<Tuple> DecodeTuple(ByteReader* reader);
 
 /// Serializes a batch. v2 (default): a magic+version header, then
 /// varint/zigzag columns with per-batch delta encoding of seq and
@@ -110,7 +110,7 @@ void EncodeTupleBatch(const TupleBatch& batch, std::string* out,
 /// Deserializes a batch written by EncodeTupleBatch in either format
 /// (the v2 magic cannot occur as a v1 prefix: it decodes as a negative
 /// stream id).
-StatusOr<TupleBatch> DecodeTupleBatch(std::string_view data);
+[[nodiscard]] StatusOr<TupleBatch> DecodeTupleBatch(std::string_view data);
 
 }  // namespace dcape
 

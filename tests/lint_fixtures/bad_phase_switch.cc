@@ -1,0 +1,30 @@
+// dcape-lint fixture: must trigger exactly [phase-switch].
+//
+// A switch over a relocation-protocol phase enum without a
+// `default: DCAPE_CHECK(...)` arm: if the phase value is ever corrupt
+// (stale message, memory bug), the protocol silently falls through
+// instead of aborting at the first observable inconsistency.
+namespace dcape {
+
+enum class Phase {
+  kAwaitPartitions,
+  kAwaitPauseAcks,
+  kAwaitInstall,
+  kAwaitRoutingAcks,
+};
+
+const char* DescribePhase(Phase phase) {
+  switch (phase) {
+    case Phase::kAwaitPartitions:
+      return "await-partitions";
+    case Phase::kAwaitPauseAcks:
+      return "await-pause-acks";
+    case Phase::kAwaitInstall:
+      return "await-install";
+    case Phase::kAwaitRoutingAcks:
+      return "await-routing-acks";
+  }
+  return "unreachable";
+}
+
+}  // namespace dcape

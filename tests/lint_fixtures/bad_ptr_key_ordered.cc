@@ -1,0 +1,21 @@
+// dcape-lint fixture: must trigger exactly [ptr-key-ordered].
+//
+// std::map/std::set ordered by pointer value: the iteration order is
+// the allocator's address order, different every run. Key on a stable
+// id (EngineId, PartitionId) instead.
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace dcape {
+
+struct Engine {
+  int64_t id = 0;
+};
+
+struct Registry {
+  std::map<Engine*, int64_t> bytes_by_engine;
+  std::set<const Engine*> paused;
+};
+
+}  // namespace dcape

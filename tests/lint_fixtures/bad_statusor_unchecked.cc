@@ -1,0 +1,30 @@
+// dcape-lint fixture: must trigger exactly [statusor-unchecked].
+//
+// Dereferencing a StatusOr before any .ok()/.status() check turns an
+// error return into a DCAPE_CHECK abort instead of a propagated Status.
+#include <cstdint>
+#include <string>
+
+namespace dcape {
+
+template <typename T>
+class StatusOr {
+ public:
+  bool ok() const { return ok_; }
+  const T& value() const { return value_; }
+  const T& operator*() const { return value_; }
+  const T* operator->() const { return &value_; }
+
+ private:
+  T value_{};
+  bool ok_ = true;
+};
+
+StatusOr<std::string> LoadBlob(int64_t id);
+
+int64_t BlobSize(int64_t id) {
+  StatusOr<std::string> blob = LoadBlob(id);
+  return static_cast<int64_t>(blob->size());
+}
+
+}  // namespace dcape

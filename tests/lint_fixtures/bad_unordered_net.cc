@@ -1,0 +1,54 @@
+// dcape-lint fixture: must trigger exactly [unordered-net].
+//
+// BroadcastStats iterates a hash map and calls Network::Send from the
+// loop: the order tuples leave the node now depends on the standard
+// library's hash seed and on insertion history. FlushTable reaches a
+// serializer the same way, two hops down the call graph.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dcape {
+
+struct Message {
+  int dest = 0;
+  std::string payload;
+};
+
+class Network {
+ public:
+  void Send(const Message& m) { sent_.push_back(m); }
+
+ private:
+  std::vector<Message> sent_;
+};
+
+class StatsHub {
+ public:
+  void BroadcastStats(Network* net) {
+    for (const auto& entry : per_engine_bytes_) {
+      Message m;
+      m.dest = entry.first;
+      m.payload = std::to_string(entry.second);
+      net->Send(m);
+    }
+  }
+
+  void EncodeRow(std::string* out, int64_t v) {
+    out->append(std::to_string(v));
+  }
+
+  void AppendRow(std::string* out, int64_t v) { EncodeRow(out, v); }
+
+  void FlushTable(std::string* out) {
+    for (const auto& entry : per_engine_bytes_) {
+      AppendRow(out, entry.second);
+    }
+  }
+
+ private:
+  std::unordered_map<int, int64_t> per_engine_bytes_;
+};
+
+}  // namespace dcape

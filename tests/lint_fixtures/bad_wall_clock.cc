@@ -1,0 +1,20 @@
+// dcape-lint fixture: must trigger exactly [wall-clock].
+//
+// Wall-clock time anywhere outside src/sim|tools breaks bit-identical
+// replay: the engine's only time source is the virtual clock, and its
+// only randomness the seeded splitmix64 streams.
+#include <chrono>
+#include <cstdlib>
+
+namespace dcape {
+
+long NowMillisForLog() {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+int JitterTicks() { return rand() % 7; }
+
+}  // namespace dcape

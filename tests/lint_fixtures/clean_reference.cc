@@ -1,0 +1,106 @@
+// dcape-lint fixture: the clean counterpart — every pattern the bad_*
+// fixtures flag, written the way the tree is supposed to write it.
+// Must produce zero findings.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dcape {
+
+// Stand-in for common/check.h in this self-contained fixture.
+#define DCAPE_CHECK(cond) \
+  do {                    \
+  } while (false)
+
+enum class Phase {
+  kAwaitPartitions,
+  kAwaitPauseAcks,
+  kAwaitInstall,
+  kAwaitRoutingAcks,
+};
+
+struct Message {
+  int dest = 0;
+  std::string payload;
+};
+
+class Network {
+ public:
+  void Send(const Message& m) { sent_.push_back(m); }
+
+ private:
+  std::vector<Message> sent_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  bool ok() const { return ok_; }
+  const T& value() const { return value_; }
+  const T& operator*() const { return value_; }
+
+ private:
+  T value_{};
+  bool ok_ = true;
+};
+
+StatusOr<std::string> LoadBlob(int64_t id);
+
+// Phase switch with the required guarded default arm.
+const char* DescribePhase(Phase phase) {
+  switch (phase) {
+    case Phase::kAwaitPartitions:
+      return "await-partitions";
+    case Phase::kAwaitPauseAcks:
+      return "await-pause-acks";
+    case Phase::kAwaitInstall:
+      return "await-install";
+    case Phase::kAwaitRoutingAcks:
+      return "await-routing-acks";
+    default:
+      DCAPE_CHECK(false);
+      return "corrupt-phase";
+  }
+}
+
+// StatusOr checked before use.
+int64_t BlobSize(int64_t id) {
+  StatusOr<std::string> blob = LoadBlob(id);
+  if (!blob.ok()) return -1;
+  return static_cast<int64_t>((*blob).size());
+}
+
+class StatsHub {
+ public:
+  // Hash-order erased by sorting into a vector before the sends.
+  void BroadcastStats(Network* net) {
+    std::vector<std::pair<int, int64_t>> rows(per_engine_bytes_.begin(),
+                                              per_engine_bytes_.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto& row : rows) {
+      Message m;
+      m.dest = row.first;
+      m.payload = std::to_string(row.second);
+      net->Send(m);
+    }
+  }
+
+  // Iterating the hash map is fine in functions that never reach a
+  // network/serialization sink — aggregation order doesn't matter.
+  int64_t TotalBytes() const {
+    int64_t total = 0;
+    for (const auto& entry : per_engine_bytes_) total += entry.second;
+    return total;
+  }
+
+ private:
+  std::unordered_map<int, int64_t> per_engine_bytes_;
+  // Ordered container keyed on a stable id, not a pointer.
+  std::map<int64_t, std::string> names_by_id_;
+};
+
+}  // namespace dcape

@@ -1,0 +1,88 @@
+// dcape-lint fixture: every check suppressed with the
+// `// dcape-lint: allow(<check>)` marker, same-line and line-above
+// forms. Must produce zero findings — this is the regression test for
+// the suppression mechanism itself.
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dcape {
+
+enum class Phase {
+  kAwaitPartitions,
+  kAwaitPauseAcks,
+};
+
+struct Message {
+  int dest = 0;
+};
+
+class Network {
+ public:
+  void Send(const Message& m) { sent_.push_back(m); }
+
+ private:
+  std::vector<Message> sent_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  bool ok() const { return ok_; }
+  const T& operator*() const { return value_; }
+
+ private:
+  T value_{};
+  bool ok_ = true;
+};
+
+StatusOr<std::string> LoadBlob(int64_t id);
+
+struct Engine {
+  int64_t id = 0;
+};
+
+// Same-line suppression.
+long WallMillis() {
+  return std::chrono::steady_clock::now()  // dcape-lint: allow(wall-clock)
+      .time_since_epoch()
+      .count();
+}
+
+const char* DescribePhase(Phase phase) {
+  // dcape-lint: allow(phase-switch)
+  switch (phase) {
+    case Phase::kAwaitPartitions:
+      return "await-partitions";
+    case Phase::kAwaitPauseAcks:
+      return "await-pause-acks";
+  }
+  return "unreachable";
+}
+
+int64_t BlobSize(int64_t id) {
+  // dcape-lint: allow(statusor-unchecked)
+  StatusOr<std::string> blob = LoadBlob(id);
+  return static_cast<int64_t>((*blob).size());
+}
+
+class StatsHub {
+ public:
+  void BroadcastStats(Network* net) {
+    // dcape-lint: allow(unordered-net)
+    for (const auto& entry : per_engine_bytes_) {
+      Message m;
+      m.dest = entry.first;
+      net->Send(m);
+    }
+  }
+
+ private:
+  std::unordered_map<int, int64_t> per_engine_bytes_;
+  std::map<Engine*, int64_t> by_ptr_;  // dcape-lint: allow(ptr-key-ordered)
+};
+
+}  // namespace dcape

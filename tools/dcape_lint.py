@@ -1,0 +1,829 @@
+#!/usr/bin/env python3
+"""dcape-lint — project-specific determinism/protocol linter for DCAPE.
+
+Encodes invariants no generic tool knows about this codebase:
+
+  wall-clock          No wall-clock time, std::random_device, or libc
+                      rand() outside src/sim and tools. The engine runs
+                      on a virtual clock and seeded splitmix64 streams;
+                      one wall-clock read makes replay non-bit-identical.
+  unordered-net       No iteration over std::unordered_map/set in any
+                      function that (transitively) reaches Network::Send
+                      or serialization. Hash iteration order depends on
+                      the library and on insertion history, so it leaks
+                      nondeterminism into message and blob bytes.
+  ptr-key-ordered     No std::map/std::set keyed on a pointer. Address
+                      order changes run to run, so iteration order —
+                      and everything derived from it — is random.
+  phase-switch        Every `switch` over a relocation-protocol phase
+                      enum needs a `default:` arm containing DCAPE_CHECK
+                      (protocol-state corruption must abort, not fall
+                      through), unless the switch carries a TODO.
+  statusor-unchecked  A local StatusOr must be checked (.ok() /
+                      .status()) before it is dereferenced with *, ->,
+                      or .value().
+
+Usage:
+  dcape_lint.py [--root=DIR] [--check=NAME] [--list] [--selftest]
+                [--compile-commands=PATH] [files...]
+
+Suppression: append `// dcape-lint: allow(<check>)` to the offending
+line or the line directly above it. Suppressions are greppable — every
+intentional exception stays visible.
+
+The linter prefers a libclang AST when the python `clang` bindings are
+importable (function extents and types come from the real parser); it
+falls back to a built-in lexer (comment/string-stripping, brace
+matching, declaration regexes) that encodes the repo's house style.
+Both backends feed the same checks. Exit status: 0 clean, 1 findings,
+2 bad flags — mirroring dcape_chaos.
+"""
+
+import json
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Source model
+# ---------------------------------------------------------------------------
+
+
+class Function:
+    """One function definition: qualified name, body text, call sites."""
+
+    def __init__(self, name, qualname, file, line, body):
+        self.name = name          # unqualified (Send, Serialize, ...)
+        self.qualname = qualname  # Class::Send or Send
+        self.file = file
+        self.line = line          # 1-based line of the body's first line
+        self.body = body          # body text, comments/strings blanked
+        self.calls = set()        # unqualified callee names
+
+    def __repr__(self):
+        return f"<fn {self.qualname} {self.file}:{self.line}>"
+
+
+class SourceFile:
+    """A lexed translation unit: cleaned text plus extracted facts."""
+
+    def __init__(self, path, raw):
+        self.path = path
+        self.raw = raw
+        self.lines = raw.split("\n")
+        self.clean = blank_comments_and_strings(raw)
+        self.clean_lines = self.clean.split("\n")
+        self.functions = []
+        self.unordered_idents = set()   # identifiers with unordered_* type
+        self.unordered_returners = set()  # functions returning unordered_*
+
+    def line_of_offset(self, offset):
+        return self.clean.count("\n", 0, offset) + 1
+
+
+_ALLOW_RE = re.compile(r"//\s*dcape-lint:\s*allow\(([a-z0-9_,\s-]+)\)")
+
+
+def suppressed(source, line, check):
+    """True if `line` (1-based) or the line above carries allow(check)."""
+    for candidate in (line, line - 1):
+        if 1 <= candidate <= len(source.lines):
+            m = _ALLOW_RE.search(source.lines[candidate - 1])
+            if m and check in [c.strip() for c in m.group(1).split(",")]:
+                return True
+    return False
+
+
+def blank_comments_and_strings(text):
+    """Replaces comment/string/char contents with spaces, preserving
+    newlines and the `// dcape-lint:` suppression comments' positions
+    (suppressions are read from the raw text, not the cleaned one)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c == '"':
+            # Raw strings R"delim( ... )delim" need their own scan.
+            if i >= 1 and text[i - 1] == "R":
+                m = re.match(r'"([^(\s]*)\(', text[i:])
+                if m:
+                    closer = ")" + m.group(1) + '"'
+                    j = text.find(closer, i)
+                    j = n - len(closer) if j == -1 else j
+                    chunk = text[i:j + len(closer)]
+                    out.append("".join(
+                        ch if ch == "\n" else " " for ch in chunk))
+                    i = j + len(closer)
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append('"' + " " * (j - i - 1) + '"')
+            i = j + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            out.append("'" + " " * (j - i - 1) + "'")
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+# A function definition header: optional template/attrs consumed
+# implicitly by requiring a return-ish token before the name. Matches
+# `Ret Ns::Class::Name(...) ... {` and free `Ret Name(...) {`.
+_FUNC_RE = re.compile(
+    r"""(?:^|\n)
+        [ \t]*
+        (?P<head>[A-Za-z_][\w:<>,&*\s\[\]]*?)          # return type ish
+        [&*\s]
+        (?P<qual>(?:[A-Za-z_]\w*::)*)                  # Class:: chain
+        (?P<name>~?[A-Za-z_]\w*|operator[^\s(]{1,3})   # name
+        \s*\((?P<params>[^;{}]*?)\)
+        (?P<trail>[^;{}()]*)                           # const/noexcept/attrs
+        \{""",
+    re.VERBOSE,
+)
+
+_KEYWORD_NAMES = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "do",
+    "else", "new", "delete", "case", "default", "static_assert",
+    "alignof", "decltype", "defined",
+}
+
+_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+
+def match_brace(text, open_idx):
+    """Index just past the `}` matching the `{` at open_idx."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def lex_functions(source):
+    """Extracts function definitions with the fallback lexer."""
+    text = source.clean
+    for m in _FUNC_RE.finditer(text):
+        name = m.group("name")
+        if name in _KEYWORD_NAMES:
+            continue
+        head = m.group("head").strip()
+        # Reject control-flow masquerading as definitions and decls
+        # inside expressions (heads ending in operators).
+        if head.split()[-1:] and head.split()[-1] in _KEYWORD_NAMES:
+            continue
+        open_idx = m.end() - 1
+        close_idx = match_brace(text, open_idx)
+        body = text[open_idx:close_idx]
+        qual = (m.group("qual") or "")
+        fn = Function(
+            name=name,
+            qualname=qual + name,
+            file=source.path,
+            line=source.line_of_offset(m.start("name")),
+            body=body,
+        )
+        for call in _CALL_RE.finditer(body):
+            callee = call.group(1)
+            if callee not in _KEYWORD_NAMES:
+                fn.calls.add(callee)
+        source.functions.append(fn)
+
+
+_UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\b"
+)
+# `<type containing unordered_> name_{ = ... ;}` — member or local.
+_DECL_IDENT_RE = re.compile(
+    r"unordered_[^;{}()]*?>[&\s]+([A-Za-z_]\w*)\s*[;={(\[]"
+)
+# Aliases: `auto& x = <expr>` / `const auto& x = <expr>;`
+_ALIAS_RE = re.compile(
+    r"\bauto&?\s+([A-Za-z_]\w*)\s*=\s*([^;]+);"
+)
+# Function whose declared return type mentions unordered_.
+_UNORDERED_RETURN_RE = re.compile(
+    r"unordered_[^;{}()]*?>&?\s*\n?\s*(?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*\("
+)
+
+
+def collect_unordered_symbols(source):
+    """Identifiers (members, locals, aliases) of unordered container
+    type, plus names of functions returning unordered containers."""
+    text = source.clean
+    for m in _DECL_IDENT_RE.finditer(text):
+        source.unordered_idents.add(m.group(1))
+    for m in _UNORDERED_RETURN_RE.finditer(text):
+        source.unordered_returners.add(m.group(1))
+    # Aliases (`auto& t = tables_[i];`) are collected per function in
+    # iterates_unordered — an alias in one function must not taint a
+    # same-named local elsewhere in the file.
+
+
+def alias_tainted(source, expr, extra=()):
+    """Taint rule for `auto x = <expr>` aliases. When the initializer
+    goes through function calls, the alias has whatever those functions
+    return — `SortedBuckets(tables_[s])` yields a sorted vector, not the
+    hash map it was built from — so only calls to known
+    unordered-returning functions taint. A double subscript
+    (`tables_[s][key]`) lands in the mapped value, not the map.
+    Call-free single-subscript initializers (`tables_[s]`,
+    `hub.per_engine_bytes_`) taint by identifier."""
+    calls = re.findall(r"\b([A-Za-z_]\w*)\s*\(", expr)
+    if calls:
+        return any(c in source.unordered_returners or
+                   c in GLOBAL_UNORDERED_RETURNERS for c in calls)
+    if re.search(r"\]\s*\[", expr):
+        return False
+    return tainted_expr(source, expr, extra)
+
+
+def function_alias_taint(source, fn):
+    """Identifiers aliased to unordered containers within fn's body."""
+    local = set()
+    for _ in range(2):
+        for m in _ALIAS_RE.finditer(fn.body):
+            if alias_tainted(source, m.group(2), local):
+                local.add(m.group(1))
+    return local
+
+
+def tainted_expr(source, expr, extra=()):
+    """True when `expr` plausibly names/returns an unordered container."""
+    for ident in re.findall(r"[A-Za-z_]\w*", expr):
+        if ident in extra:
+            return True
+        if ident in source.unordered_idents:
+            return True
+        if ident in source.unordered_returners:
+            return True
+        if ident in GLOBAL_UNORDERED_RETURNERS:
+            return True
+        if ident in GLOBAL_UNORDERED_IDENTS:
+            return True
+    return False
+
+
+# Populated across all files before checks run (TableForStream etc. are
+# declared in headers but iterated in other TUs).
+GLOBAL_UNORDERED_RETURNERS = set()
+GLOBAL_UNORDERED_IDENTS = set()
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+def try_libclang():
+    """Returns the clang.cindex module when usable, else None."""
+    try:
+        import clang.cindex as cindex  # type: ignore
+        cindex.Index.create()
+        return cindex
+    except Exception:
+        return None
+
+
+def parse_with_libclang(cindex, path, compile_args, source):
+    """AST-precise function extraction; falls back on parse failure."""
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(path, args=compile_args)
+    except Exception:
+        lex_functions(source)
+        return
+    from clang.cindex import CursorKind  # type: ignore
+    fn_kinds = {
+        CursorKind.FUNCTION_DECL,
+        CursorKind.CXX_METHOD,
+        CursorKind.CONSTRUCTOR,
+        CursorKind.DESTRUCTOR,
+        CursorKind.FUNCTION_TEMPLATE,
+        CursorKind.LAMBDA_EXPR,
+    }
+
+    def walk(cursor):
+        for child in cursor.get_children():
+            loc = child.location
+            if loc.file is None or os.path.realpath(
+                    loc.file.name) != os.path.realpath(path):
+                walk(child)
+                continue
+            if child.kind in fn_kinds and child.is_definition():
+                ext = child.extent
+                body = "\n".join(
+                    source.clean_lines[ext.start.line - 1:ext.end.line])
+                fn = Function(
+                    name=child.spelling,
+                    qualname=qualify(child),
+                    file=path,
+                    line=ext.start.line,
+                    body=body,
+                )
+                for call in _CALL_RE.finditer(body):
+                    if call.group(1) not in _KEYWORD_NAMES:
+                        fn.calls.add(call.group(1))
+                source.functions.append(fn)
+            walk(child)
+
+    def qualify(cursor):
+        parts = [cursor.spelling]
+        parent = cursor.semantic_parent
+        while parent is not None and parent.spelling and \
+                parent.kind.name != "TRANSLATION_UNIT":
+            parts.append(parent.spelling)
+            parent = parent.semantic_parent
+        return "::".join(reversed(parts))
+
+    walk(tu.cursor)
+    if not source.functions:
+        lex_functions(source)
+
+
+# ---------------------------------------------------------------------------
+# Checks
+# ---------------------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, check, file, line, message):
+        self.check = check
+        self.file = file
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.file}:{self.line}: [{self.check}] {self.message}"
+
+
+_WALLCLOCK_PATTERNS = [
+    (re.compile(r"\bstd::chrono\b"), "std::chrono"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w:])(?:std::)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(?:nullptr|NULL|0|&)"), "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\bstd::this_thread::sleep_"), "sleep_for/sleep_until"),
+]
+
+# Paths (relative, '/'-separated) where wall-clock and OS randomness are
+# legitimate: the chaos harness seeds from them and tools print wall
+# durations. Everything else runs on the virtual clock.
+_WALLCLOCK_EXEMPT = ("src/sim/", "tools/")
+
+
+def check_wall_clock(sources, relpath):
+    findings = []
+    for source in sources:
+        rel = relpath(source.path)
+        if rel.startswith(_WALLCLOCK_EXEMPT):
+            continue
+        for lineno, line in enumerate(source.clean_lines, 1):
+            for pattern, label in _WALLCLOCK_PATTERNS:
+                if pattern.search(line):
+                    if suppressed(source, lineno, "wall-clock"):
+                        continue
+                    findings.append(Finding(
+                        "wall-clock", rel, lineno,
+                        f"{label} outside src/sim|tools: determinism "
+                        "requires the virtual clock and seeded streams"))
+    return findings
+
+
+# Serialization sinks: functions that turn state into bytes. Reaching
+# one of these (or Network::Send) from a hash-order iteration leaks the
+# order into observable bytes.
+_SINK_NAMES = {
+    "Send", "Serialize", "EncodeTuple", "EncodeTupleBatch",
+    "PutU8", "PutU32", "PutU64", "PutI32", "PutI64", "PutString",
+    "PutVarint", "PutZigzag", "PutVString",
+}
+
+_RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;)]*?):([^)]*)\)")
+# Classic iterator loop: `for (auto it = x.begin(); ...`. A bare
+# x.begin()/x.end() pair outside a for-header is NOT flagged — that is
+# the sanctioned fix idiom (copy into a vector, then sort).
+_ITER_FOR_RE = re.compile(
+    r"\bfor\s*\([^;)]*=\s*([A-Za-z_][\w.\->\[\]]*)\s*\.\s*begin\s*\(")
+
+
+def build_call_closure(functions):
+    """Names (unqualified) of functions that transitively reach a sink."""
+    by_name = {}
+    for fn in functions:
+        by_name.setdefault(fn.name, []).append(fn)
+    reaching = set()
+    changed = True
+    while changed:
+        changed = False
+        for fn in functions:
+            if fn.name in reaching:
+                continue
+            hit = any(c in _SINK_NAMES or c in reaching for c in fn.calls)
+            if hit:
+                reaching.add(fn.name)
+                changed = True
+    return reaching
+
+
+def iterates_unordered(source, fn):
+    """(line, expr) pairs where fn's body iterates an unordered
+    container."""
+    hits = []
+    base_line = fn.line
+    local = function_alias_taint(source, fn)
+    for m in _RANGE_FOR_RE.finditer(fn.body):
+        expr = m.group(2).strip()
+        if _UNORDERED_DECL_RE.search(expr) or \
+                tainted_expr(source, expr, local):
+            line = base_line + fn.body.count("\n", 0, m.start())
+            hits.append((line, expr))
+    for m in _ITER_FOR_RE.finditer(fn.body):
+        expr = m.group(1).strip()
+        if tainted_expr(source, expr, local):
+            line = base_line + fn.body.count("\n", 0, m.start())
+            hits.append((line, expr + ".begin()"))
+    return hits
+
+
+def check_unordered_net(sources, relpath):
+    all_functions = [fn for s in sources for fn in s.functions]
+    reaching = build_call_closure(all_functions)
+    findings = []
+    for source in sources:
+        for fn in source.functions:
+            fn_is_sink = fn.name in _SINK_NAMES
+            fn_reaches = fn.name in reaching or \
+                any(c in _SINK_NAMES for c in fn.calls)
+            if not (fn_is_sink or fn_reaches):
+                continue
+            for line, expr in iterates_unordered(source, fn):
+                if suppressed(source, line, "unordered-net"):
+                    continue
+                findings.append(Finding(
+                    "unordered-net", relpath(source.path), line,
+                    f"{fn.qualname} iterates unordered container "
+                    f"'{expr}' and reaches Network::Send/serialization: "
+                    "hash order would leak into message/blob bytes "
+                    "(sort into a vector first)"))
+    return findings
+
+
+_PTR_KEY_RE = re.compile(
+    r"\bstd::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?"
+    r"[A-Za-z_][\w:<>\s]*?\*\s*[,>]"
+)
+
+
+def check_ptr_key_ordered(sources, relpath):
+    findings = []
+    for source in sources:
+        for lineno, line in enumerate(source.clean_lines, 1):
+            if _PTR_KEY_RE.search(line):
+                if suppressed(source, lineno, "ptr-key-ordered"):
+                    continue
+                findings.append(Finding(
+                    "ptr-key-ordered", relpath(source.path), lineno,
+                    "ordered container keyed on a pointer: address order "
+                    "differs run to run, so iteration order is "
+                    "nondeterministic (key on a stable id instead)"))
+    return findings
+
+
+_SWITCH_RE = re.compile(r"\bswitch\s*\(")
+_PHASE_COND_RE = re.compile(r"\b(?:Phase|phase)\b")
+_TODO_RE = re.compile(r"\bTODO\b")
+_DEFAULT_ARM_RE = re.compile(r"\bdefault\s*:")
+
+
+def check_phase_switch(sources, relpath):
+    findings = []
+    for source in sources:
+        text = source.clean
+        for m in _SWITCH_RE.finditer(text):
+            cond_open = text.find("(", m.start())
+            cond_close = matching_paren(text, cond_open)
+            cond = text[cond_open + 1:cond_close]
+            if not _PHASE_COND_RE.search(cond):
+                continue
+            body_open = text.find("{", cond_close)
+            if body_open == -1:
+                continue
+            body_close = match_brace(text, body_open)
+            body = text[body_open:body_close]
+            line = source.line_of_offset(m.start())
+            raw_body = "\n".join(
+                source.lines[line - 1:
+                             source.line_of_offset(body_close)])
+            if _TODO_RE.search(raw_body):
+                continue  # explicitly marked unfinished
+            default_ok = False
+            dm = _DEFAULT_ARM_RE.search(body)
+            if dm:
+                arm = body[dm.end():dm.end() + 400]
+                if "DCAPE_CHECK" in arm or "CheckFailed" in arm:
+                    default_ok = True
+            if default_ok:
+                continue
+            if suppressed(source, line, "phase-switch"):
+                continue
+            findings.append(Finding(
+                "phase-switch", relpath(source.path), line,
+                "switch over a protocol phase enum without a "
+                "`default: DCAPE_CHECK(...)` arm: a corrupt phase value "
+                "must abort, not fall through"))
+    return findings
+
+
+def matching_paren(text, open_idx):
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+_STATUSOR_DECL_RE = re.compile(
+    r"\bStatusOr<[^;=]*?>\s+([A-Za-z_]\w*)\s*[=({]"
+)
+
+
+def check_statusor_unchecked(sources, relpath):
+    findings = []
+    for source in sources:
+        for fn in source.functions:
+            for m in _STATUSOR_DECL_RE.finditer(fn.body):
+                var = m.group(1)
+                rest = fn.body[m.end():]
+                deref = re.search(
+                    r"(?:\*\s*{v}\b|\b{v}\s*->|\b{v}\s*\.\s*value\s*\()"
+                    .format(v=re.escape(var)), rest)
+                if not deref:
+                    continue
+                checked = re.search(
+                    r"\b{v}\s*\.\s*(?:ok|status)\s*\(".format(
+                        v=re.escape(var)), rest[:deref.start()])
+                if checked:
+                    continue
+                line = fn.line + fn.body.count("\n", 0, m.start())
+                if suppressed(source, line, "statusor-unchecked"):
+                    continue
+                findings.append(Finding(
+                    "statusor-unchecked", relpath(source.path), line,
+                    f"StatusOr '{var}' is dereferenced before any "
+                    ".ok()/.status() check: an error here aborts via "
+                    "DCAPE_CHECK instead of propagating"))
+    return findings
+
+
+CHECKS = {
+    "wall-clock": check_wall_clock,
+    "unordered-net": check_unordered_net,
+    "ptr-key-ordered": check_ptr_key_ordered,
+    "phase-switch": check_phase_switch,
+    "statusor-unchecked": check_statusor_unchecked,
+}
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def discover_files(root, compile_commands):
+    """Translation units + headers to lint. compile_commands.json is the
+    source of truth for .cc files when present; headers are walked."""
+    files = []
+    seen = set()
+    if compile_commands and os.path.exists(compile_commands):
+        try:
+            with open(compile_commands) as f:
+                for entry in json.load(f):
+                    path = os.path.realpath(
+                        os.path.join(entry.get("directory", ""),
+                                     entry["file"]))
+                    if is_linted_path(root, path) and path not in seen:
+                        seen.add(path)
+                        files.append(path)
+        except (OSError, ValueError, KeyError):
+            pass
+    for base in ("src", "tools"):
+        top = os.path.join(root, base)
+        for dirpath, _, names in os.walk(top):
+            for name in sorted(names):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                path = os.path.realpath(os.path.join(dirpath, name))
+                if is_linted_path(root, path) and path not in seen:
+                    seen.add(path)
+                    files.append(path)
+    return sorted(files)
+
+
+def is_linted_path(root, path):
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    if rel.startswith(".."):
+        return False
+    if "tests/lint_fixtures" in rel:
+        return False  # intentionally-bad fixtures; linted by --selftest
+    if rel.startswith("build"):
+        return False
+    return rel.endswith((".h", ".cc"))
+
+
+def load_sources(paths, cindex, compile_args_by_file):
+    sources = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8", errors="replace") as f:
+                raw = f.read()
+        except OSError as e:
+            print(f"dcape-lint: cannot read {path}: {e}", file=sys.stderr)
+            continue
+        source = SourceFile(path, raw)
+        collect_unordered_symbols(source)
+        if cindex is not None and path.endswith(".cc"):
+            parse_with_libclang(
+                cindex, path, compile_args_by_file.get(path, ["-std=c++20"]),
+                source)
+        else:
+            lex_functions(source)
+        sources.append(source)
+    for source in sources:
+        GLOBAL_UNORDERED_RETURNERS.update(source.unordered_returners)
+        # Only members (trailing-underscore house convention) taint
+        # across files; a local named `out` in one TU must not flag
+        # every `out` in the repo.
+        GLOBAL_UNORDERED_IDENTS.update(
+            i for i in source.unordered_idents if i.endswith("_"))
+    return sources
+
+
+def run_checks(sources, root, selected):
+    def relpath(path):
+        return os.path.relpath(path, root).replace(os.sep, "/")
+    findings = []
+    for name in selected:
+        findings.extend(CHECKS[name](sources, relpath))
+    findings.sort(key=lambda f: (f.file, f.line, f.check))
+    return findings
+
+
+def compile_args_from_db(compile_commands):
+    args_by_file = {}
+    if not (compile_commands and os.path.exists(compile_commands)):
+        return args_by_file
+    try:
+        with open(compile_commands) as f:
+            for entry in json.load(f):
+                path = os.path.realpath(
+                    os.path.join(entry.get("directory", ""), entry["file"]))
+                raw = entry.get("arguments") or entry.get("command", "").split()
+                args = [a for a in raw[1:]
+                        if a.startswith(("-I", "-D", "-std", "-isystem"))]
+                args_by_file[path] = args
+    except (OSError, ValueError, KeyError):
+        pass
+    return args_by_file
+
+
+def selftest(root, cindex):
+    """Every tests/lint_fixtures/bad_<check>*.cc must trigger exactly its
+    check; clean_*.cc and suppressed_*.cc must be finding-free."""
+    fixtures = os.path.join(root, "tests", "lint_fixtures")
+    if not os.path.isdir(fixtures):
+        print(f"dcape-lint selftest: no fixtures dir at {fixtures}",
+              file=sys.stderr)
+        return 1
+    failures = 0
+    names = sorted(n for n in os.listdir(fixtures) if n.endswith(".cc"))
+    if not names:
+        print("dcape-lint selftest: fixtures dir is empty", file=sys.stderr)
+        return 1
+    for name in names:
+        path = os.path.join(fixtures, name)
+        # Fixture files are self-contained: reset cross-file state.
+        GLOBAL_UNORDERED_RETURNERS.clear()
+        GLOBAL_UNORDERED_IDENTS.clear()
+        sources = load_sources([path], cindex, {})
+        findings = run_checks(sources, fixtures, list(CHECKS))
+        checks_hit = {f.check for f in findings}
+        if name.startswith("bad_"):
+            stem = name[len("bad_"):-len(".cc")]
+            expected = stem.replace("_", "-")
+            # allow a numeric suffix: bad_wall_clock_2.cc
+            expected = re.sub(r"-\d+$", "", expected)
+            if expected not in CHECKS:
+                print(f"FAIL {name}: fixture names unknown check "
+                      f"'{expected}'")
+                failures += 1
+            elif checks_hit != {expected}:
+                print(f"FAIL {name}: expected only [{expected}], "
+                      f"got {sorted(checks_hit) or 'nothing'}")
+                for f in findings:
+                    print(f"    {f}")
+                failures += 1
+            else:
+                print(f"ok   {name}: triggers [{expected}]")
+        elif name.startswith(("clean_", "suppressed_")):
+            if findings:
+                print(f"FAIL {name}: expected no findings, got:")
+                for f in findings:
+                    print(f"    {f}")
+                failures += 1
+            else:
+                print(f"ok   {name}: no findings")
+        else:
+            print(f"FAIL {name}: fixture must be named bad_*/clean_*/"
+                  "suppressed_*")
+            failures += 1
+    print(f"selftest: {len(names)} fixtures, {failures} failures")
+    return 1 if failures else 0
+
+
+def main(argv):
+    root = os.path.realpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+    compile_commands = None
+    selected = list(CHECKS)
+    explicit_files = []
+    do_selftest = False
+
+    for arg in argv:
+        if arg == "--list":
+            for name in CHECKS:
+                print(name)
+            return 0
+        if arg == "--selftest":
+            do_selftest = True
+        elif arg.startswith("--check="):
+            name = arg.split("=", 1)[1]
+            if name not in CHECKS:
+                print(f"unknown check '{name}' "
+                      f"(known: {', '.join(CHECKS)})", file=sys.stderr)
+                return 2
+            selected = [name]
+        elif arg.startswith("--root="):
+            root = os.path.realpath(arg.split("=", 1)[1])
+        elif arg.startswith("--compile-commands="):
+            compile_commands = arg.split("=", 1)[1]
+        elif arg in ("--help", "-h"):
+            print(__doc__)
+            return 0
+        elif arg.startswith("--"):
+            print(f"unknown flag '{arg}' (see --help)", file=sys.stderr)
+            return 2
+        else:
+            explicit_files.append(os.path.realpath(arg))
+
+    if compile_commands is None:
+        default_db = os.path.join(root, "build", "compile_commands.json")
+        compile_commands = default_db if os.path.exists(default_db) else None
+
+    cindex = try_libclang()
+
+    if do_selftest:
+        return selftest(root, cindex)
+
+    paths = explicit_files or discover_files(root, compile_commands)
+    args_by_file = compile_args_from_db(compile_commands)
+    sources = load_sources(paths, cindex, args_by_file)
+    findings = run_checks(sources, root, selected)
+    for f in findings:
+        print(f)
+    backend = "libclang" if cindex is not None else "builtin-lexer"
+    print(f"dcape-lint: {len(paths)} files, {len(findings)} findings "
+          f"({backend}; checks: {', '.join(selected)})")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
