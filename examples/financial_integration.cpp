@@ -13,8 +13,7 @@
 
 #include <iostream>
 
-#include "common/logging.h"
-#include "runtime/cluster.h"
+#include "dcape.h"
 
 int main() {
   using namespace dcape;

@@ -18,9 +18,7 @@
 
 #include <iostream>
 
-#include "common/logging.h"
-#include "metrics/table_printer.h"
-#include "runtime/cluster.h"
+#include "dcape.h"
 
 int main() {
   using namespace dcape;

@@ -12,8 +12,7 @@
 #include <map>
 #include <string>
 
-#include "common/logging.h"
-#include "runtime/cluster.h"
+#include "dcape.h"
 
 namespace {
 

@@ -13,6 +13,12 @@ GlobalCoordinator::GlobalCoordinator(const CoordinatorConfig& config,
                                      Network* network)
     : config_(config),
       network_(network),
+      owned_metrics_(config.metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(config.metrics != nullptr ? config.metrics
+                                         : owned_metrics_.get()),
+      tracer_(config.tracer),
       sr_timer_(config.relocation.sr_timer_period),
       lb_timer_(config.active.lb_timer_period),
       last_relocation_start_(
@@ -21,6 +27,24 @@ GlobalCoordinator::GlobalCoordinator(const CoordinatorConfig& config,
   DCAPE_CHECK(!config_.engine_nodes.empty());
   DCAPE_CHECK_EQ(config_.engine_nodes.size(),
                  config_.engine_memory_thresholds.size());
+  c_.relocations_started = metrics_->AddCounter(obs::m::kRelocationsStarted);
+  c_.relocations_completed =
+      metrics_->AddCounter(obs::m::kRelocationsCompleted);
+  c_.relocations_aborted = metrics_->AddCounter(obs::m::kRelocationsAborted);
+  c_.bytes_relocated = metrics_->AddCounter(obs::m::kBytesRelocated);
+  c_.forced_spills = metrics_->AddCounter(obs::m::kForcedSpills);
+  c_.forced_spill_bytes = metrics_->AddCounter(obs::m::kForcedSpillBytes);
+}
+
+GlobalCoordinator::Counters GlobalCoordinator::counters() const {
+  Counters c;
+  c.relocations_started = c_.relocations_started->value();
+  c.relocations_completed = c_.relocations_completed->value();
+  c.relocations_aborted = c_.relocations_aborted->value();
+  c.bytes_relocated = c_.bytes_relocated->value();
+  c.forced_spills = c_.forced_spills->value();
+  c.forced_spill_bytes = c_.forced_spill_bytes->value();
+  return c;
 }
 
 const char* GlobalCoordinator::PhaseName(Phase phase) {
@@ -77,7 +101,15 @@ void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
       if (reply.partitions.empty()) {
         DCAPE_LOG(kInfo) << "relocation " << reply.relocation_id
                          << " aborted: sender has no movable groups";
-        counters_.relocations_aborted += 1;
+        c_.relocations_aborted->Increment();
+        if (DCAPE_TRACE_ACTIVE(tracer_)) {
+          const int64_t id = inflight_->id;
+          tracer_->EndSpan(lane(), now, obs::ev::kRelocPhaseCompute, id);
+          tracer_->EmitInstant(
+              lane(), now, obs::ev::kRelocAbort,
+              {obs::TraceArg::Int("sender", inflight_->sender)}, id);
+          tracer_->EndSpan(lane(), now, obs::ev::kRelocation, id);
+        }
         inflight_.reset();
         MaybeStartQueued(now);
         return;
@@ -86,6 +118,15 @@ void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
       inflight_->bytes = reply.bytes;
       inflight_->phase = Phase::kAwaitPauseAcks;
       inflight_->acks = 0;
+      if (DCAPE_TRACE_ACTIVE(tracer_)) {
+        tracer_->EndSpan(
+            lane(), now, obs::ev::kRelocPhaseCompute, inflight_->id,
+            {obs::TraceArg::Int(
+                 "groups", static_cast<int64_t>(reply.partitions.size())),
+             obs::TraceArg::Int("bytes", reply.bytes)});
+        tracer_->BeginSpan(lane(), now, obs::ev::kRelocPhasePause,
+                           inflight_->id);
+      }
       for (NodeId host : config_.split_hosts) {
         PausePartitions pause;
         pause.relocation_id = inflight_->id;
@@ -123,6 +164,12 @@ void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
       msg.payload = std::move(cmd);
       network_->Send(std::move(msg), now);
       inflight_->phase = Phase::kAwaitInstall;
+      if (DCAPE_TRACE_ACTIVE(tracer_)) {
+        tracer_->EndSpan(lane(), now, obs::ev::kRelocPhasePause,
+                         inflight_->id);
+        tracer_->BeginSpan(lane(), now, obs::ev::kRelocPhaseTransfer,
+                           inflight_->id);
+      }
       return;
     }
     case MessageType::kStatesInstalled: {
@@ -133,6 +180,13 @@ void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
       }
       inflight_->phase = Phase::kAwaitRoutingAcks;
       inflight_->acks = 0;
+      if (DCAPE_TRACE_ACTIVE(tracer_)) {
+        tracer_->EndSpan(
+            lane(), now, obs::ev::kRelocPhaseTransfer, inflight_->id,
+            {obs::TraceArg::Int("bytes", installed.bytes)});
+        tracer_->BeginSpan(lane(), now, obs::ev::kRelocPhaseRouting,
+                           inflight_->id);
+      }
       for (NodeId host : config_.split_hosts) {
         UpdateRouting update;
         update.relocation_id = inflight_->id;
@@ -157,8 +211,17 @@ void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
       if (inflight_->acks < static_cast<int>(config_.split_hosts.size())) {
         return;
       }
-      counters_.relocations_completed += 1;
-      counters_.bytes_relocated += inflight_->bytes;
+      c_.relocations_completed->Increment();
+      c_.bytes_relocated->Add(inflight_->bytes);
+      if (DCAPE_TRACE_ACTIVE(tracer_)) {
+        const int64_t id = inflight_->id;
+        tracer_->EndSpan(lane(), now, obs::ev::kRelocPhaseRouting, id);
+        tracer_->EndSpan(
+            lane(), now, obs::ev::kRelocation, id,
+            {obs::TraceArg::Int(
+                 "groups", static_cast<int64_t>(inflight_->partitions.size())),
+             obs::TraceArg::Int("bytes", inflight_->bytes)});
+      }
       DCAPE_LOG(kInfo) << "relocation " << inflight_->id << " completed: "
                        << inflight_->partitions.size() << " groups, "
                        << inflight_->bytes << " bytes, engine "
@@ -170,7 +233,7 @@ void GlobalCoordinator::OnMessage(Tick now, const Message& message) {
     case MessageType::kSpillComplete: {
       const auto& done = std::get<SpillComplete>(message.payload);
       forced_spill_in_flight_ = false;
-      counters_.forced_spill_bytes += done.bytes_spilled;
+      c_.forced_spill_bytes->Add(done.bytes_spilled);
       return;
     }
     default:
@@ -216,6 +279,17 @@ bool GlobalCoordinator::CheckRelocation(Tick now) {
     const int64_t amount = (max_load - min_load) / 2;
     if (amount < config_.relocation.min_relocate_bytes) return false;
     last_relocation_start_ = now;
+    if (DCAPE_TRACE_ACTIVE(tracer_)) {
+      tracer_->EmitInstant(
+          lane(), now, obs::ev::kRelocDecide,
+          {obs::TraceArg::Int("max_engine", max_engine),
+           obs::TraceArg::Int("min_engine", min_engine),
+           obs::TraceArg::Int("max_load", max_load),
+           obs::TraceArg::Int("min_load", min_load),
+           obs::TraceArg::Double("ratio", ratio),
+           obs::TraceArg::Double("theta_r", config_.relocation.theta_r),
+           obs::TraceArg::Int("amount", amount)});
+    }
     StartRelocation(now, PlannedMove{max_engine, min_engine, amount});
     return true;
   }
@@ -257,6 +331,15 @@ bool GlobalCoordinator::CheckRelocation(Tick now) {
 
   last_relocation_start_ = now;
   queued_moves_ = std::move(plan);
+  if (DCAPE_TRACE_ACTIVE(tracer_)) {
+    tracer_->EmitInstant(
+        lane(), now, obs::ev::kRelocDecide,
+        {obs::TraceArg::Int("moves",
+                            static_cast<int64_t>(queued_moves_.size())),
+         obs::TraceArg::Int("mean", mean),
+         obs::TraceArg::Double("ratio", ratio),
+         obs::TraceArg::Double("theta_r", config_.relocation.theta_r)});
+  }
   DCAPE_LOG(kInfo) << "global rebalance planned: " << queued_moves_.size()
                    << " moves at t=" << now;
   MaybeStartQueued(now);
@@ -271,7 +354,16 @@ void GlobalCoordinator::StartRelocation(Tick now, const PlannedMove& move) {
   relocation.receiver = move.receiver;
   relocation.phase = Phase::kAwaitPartitions;
   inflight_ = relocation;
-  counters_.relocations_started += 1;
+  c_.relocations_started->Increment();
+  if (DCAPE_TRACE_ACTIVE(tracer_)) {
+    tracer_->BeginSpan(
+        lane(), now, obs::ev::kRelocation, relocation.id,
+        {obs::TraceArg::Int("sender", move.sender),
+         obs::TraceArg::Int("receiver", move.receiver),
+         obs::TraceArg::Int("amount", move.amount_bytes)});
+    tracer_->BeginSpan(lane(), now, obs::ev::kRelocPhaseCompute,
+                       relocation.id);
+  }
 
   ComputePartitionsToMove request;
   request.relocation_id = relocation.id;
@@ -300,7 +392,8 @@ void GlobalCoordinator::CheckProductivity(Tick now) {
   if (config_.strategy != AdaptationStrategy::kActiveDisk) return;
   if (forced_spill_in_flight_ || inflight_.has_value()) return;
   if (latest_stats_.size() < 2) return;
-  if (counters_.forced_spill_bytes >= config_.active.max_forced_spill_bytes) {
+  if (c_.forced_spill_bytes->value() >=
+      config_.active.max_forced_spill_bytes) {
     return;  // the M_query − M_cluster volume guard
   }
 
@@ -352,11 +445,20 @@ void GlobalCoordinator::CheckProductivity(Tick now) {
       config_.active.forced_spill_fraction *
       static_cast<double>(victim.state_bytes));
   amount = std::min(amount, config_.active.max_forced_spill_bytes -
-                                counters_.forced_spill_bytes);
+                                c_.forced_spill_bytes->value());
   if (amount <= 0) return;
 
   forced_spill_in_flight_ = true;
-  counters_.forced_spills += 1;
+  c_.forced_spills->Increment();
+  if (DCAPE_TRACE_ACTIVE(tracer_)) {
+    tracer_->EmitInstant(
+        lane(), now, obs::ev::kForceSpillDecide,
+        {obs::TraceArg::Int("engine", min_engine),
+         obs::TraceArg::Int("amount", amount),
+         obs::TraceArg::Double("r_min", min_rate),
+         obs::TraceArg::Double("r_max", max_rate),
+         obs::TraceArg::Double("lambda", config_.active.lambda)});
+  }
   ForceSpill cmd;
   cmd.amount_bytes = amount;
   Message msg;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -12,6 +13,8 @@
 #include "core/strategy.h"
 #include "net/message.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dcape {
 
@@ -38,6 +41,15 @@ struct CoordinatorConfig {
   /// the wrong phase are reported instead of silently dropped — in a
   /// correct run under tolerated faults, none ever do.
   sim::InvariantRecorder* invariants = nullptr;
+  /// Unified metrics registry (unowned). The coordinator registers its
+  /// coordinator.* cells there (entity = kCluster); when null it owns a
+  /// private registry (standalone use in unit tests).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Structured tracer (unowned; null = tracing disabled). The
+  /// coordinator emits on lane `node_id`: the outer `relocation` async
+  /// span, one nested span per protocol phase, and the decision
+  /// instants with their triggering statistics.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// The global adaptation controller (paper Fig. 4).
@@ -54,7 +66,9 @@ struct CoordinatorConfig {
 /// machine; at most one relocation is in flight at a time.
 class GlobalCoordinator {
  public:
-  /// Cumulative decision counters for experiment summaries.
+  /// Cumulative decision counters for experiment summaries. Snapshot
+  /// view: the authoritative cells live in the metrics registry and
+  /// `counters()` materializes them on demand.
   struct Counters {
     int64_t relocations_started = 0;
     int64_t relocations_completed = 0;
@@ -75,7 +89,8 @@ class GlobalCoordinator {
   /// Periodic decision making (sr_timer and lb_timer).
   void OnTick(Tick now);
 
-  const Counters& counters() const { return counters_; }
+  /// Snapshot of the registry-backed counters (by value).
+  Counters counters() const;
   bool relocation_in_flight() const { return inflight_.has_value(); }
   const CoordinatorConfig& config() const { return config_; }
 
@@ -129,8 +144,16 @@ class GlobalCoordinator {
   /// The §5.3 productivity rule (active-disk forced spill).
   void CheckProductivity(Tick now);
 
+  /// The coordinator's trace lane is its network node id.
+  int lane() const { return static_cast<int>(config_.node_id); }
+
   CoordinatorConfig config_;
   Network* network_;
+  /// Private registry when the config did not supply one; declared
+  /// before the cells below, which point into it.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
   PeriodicTimer sr_timer_;
   PeriodicTimer lb_timer_;
   std::map<EngineId, StatsReport> latest_stats_;
@@ -139,7 +162,17 @@ class GlobalCoordinator {
   Tick last_relocation_start_;
   int64_t next_relocation_id_ = 1;
   bool forced_spill_in_flight_ = false;
-  Counters counters_;
+  /// Registry-owned cells backing the Counters snapshot (entity =
+  /// MetricsRegistry::kCluster).
+  struct Cells {
+    obs::Counter* relocations_started;
+    obs::Counter* relocations_completed;
+    obs::Counter* relocations_aborted;
+    obs::Counter* bytes_relocated;
+    obs::Counter* forced_spills;
+    obs::Counter* forced_spill_bytes;
+  };
+  Cells c_;
 };
 
 }  // namespace dcape

@@ -1,0 +1,48 @@
+#ifndef DCAPE_DCAPE_H_
+#define DCAPE_DCAPE_H_
+
+/// Umbrella header: the public surface of the DCAPE library.
+///
+/// Everything an embedding program needs to configure, run, and observe
+/// one experiment:
+///
+///   - ClusterConfig + ClusterConfig::Builder  (runtime/cluster_config.h)
+///   - Cluster                                 (runtime/cluster.h)
+///   - RunResult                               (runtime/run_result.h)
+///   - Status / StatusOr                       (common/status.h)
+///   - DCAPE_LOG + log levels                  (common/logging.h)
+///   - obs::MetricsRegistry / obs::Tracer      (obs/metrics.h, obs/trace.h)
+///   - obs::WriteTimeline                      (obs/report.h)
+///   - the CLI flag parser used by dcape_run   (runtime/experiment_flags.h)
+///
+/// Minimal program:
+///
+///   #include "dcape.h"
+///
+///   int main() {
+///     dcape::ClusterConfig config;
+///     config.strategy = dcape::AdaptationStrategy::kLazyDisk;
+///     dcape::Cluster cluster(config);
+///     dcape::RunResult result = cluster.Run();
+///     ...
+///   }
+///
+/// Internal layers (engine/, core/, net/, storage/, join/, tuple/) are
+/// reachable through their own headers but are not part of the stable
+/// surface.
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/virtual_clock.h"
+#include "core/strategy.h"
+#include "metrics/table_printer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/taxonomy.h"
+#include "obs/trace.h"
+#include "runtime/cluster.h"
+#include "runtime/cluster_config.h"
+#include "runtime/experiment_flags.h"
+#include "runtime/run_result.h"
+
+#endif  // DCAPE_DCAPE_H_

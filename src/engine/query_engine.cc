@@ -18,8 +18,14 @@ QueryEngine::QueryEngine(const EngineConfig& config, Network* network,
                          IoExecutor* io_executor)
     : config_(config),
       network_(network),
+      owned_metrics_(config.metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(config.metrics != nullptr ? config.metrics
+                                         : owned_metrics_.get()),
+      tracer_(config.tracer),
       spill_store_(config.engine_id, disk_config, std::move(disk_backend),
-                   io_executor),
+                   io_executor, metrics_),
       mjoin_(config.num_streams, &spill_store_, config.projection,
              config.window_ticks, config.segment_format),
       controller_(config.spill, config.productivity, config.seed),
@@ -27,8 +33,59 @@ QueryEngine::QueryEngine(const EngineConfig& config, Network* network,
       restore_timer_(config.restore.check_period),
       evict_timer_(config.evict_period) {
   DCAPE_CHECK(network_ != nullptr);
-  counters_.tuples_per_stream.resize(static_cast<size_t>(config.num_streams),
-                                     0);
+  const int entity = static_cast<int>(config.engine_id);
+  c_.tuples_processed = metrics_->AddCounter(obs::m::kTuplesProcessed, entity);
+  c_.results_produced = metrics_->AddCounter(obs::m::kResultsProduced, entity);
+  c_.spill_events = metrics_->AddCounter(obs::m::kSpillEvents, entity);
+  c_.forced_spill_events =
+      metrics_->AddCounter(obs::m::kForcedSpillEvents, entity);
+  c_.spilled_bytes = metrics_->AddCounter(obs::m::kSpilledBytes, entity);
+  c_.relocations_out = metrics_->AddCounter(obs::m::kRelocationsOut, entity);
+  c_.relocations_in = metrics_->AddCounter(obs::m::kRelocationsIn, entity);
+  c_.bytes_relocated_out =
+      metrics_->AddCounter(obs::m::kBytesRelocatedOut, entity);
+  c_.bytes_relocated_in =
+      metrics_->AddCounter(obs::m::kBytesRelocatedIn, entity);
+  c_.restored_segments =
+      metrics_->AddCounter(obs::m::kRestoredSegments, entity);
+  c_.restored_bytes = metrics_->AddCounter(obs::m::kRestoredBytes, entity);
+  c_.restored_results = metrics_->AddCounter(obs::m::kRestoredResults, entity);
+  c_.evicted_tuples = metrics_->AddCounter(obs::m::kEvictedTuples, entity);
+  c_.eviction_segments =
+      metrics_->AddCounter(obs::m::kEvictionSegments, entity);
+  c_.spill_write_failures =
+      metrics_->AddCounter(obs::m::kSpillWriteFailures, entity);
+  c_.busy_io_ticks = metrics_->AddCounter(obs::m::kBusyIoTicks, entity);
+  c_.spill_io_ticks = metrics_->AddCounter(obs::m::kSpillIoTicks, entity);
+  c_.tuples_per_stream.reserve(static_cast<size_t>(config.num_streams));
+  for (int s = 0; s < config.num_streams; ++s) {
+    c_.tuples_per_stream.push_back(
+        metrics_->AddCounter(obs::m::kTuplesPerStream, entity, s));
+  }
+}
+
+QueryEngine::Counters QueryEngine::counters() const {
+  Counters c;
+  c.tuples_processed = c_.tuples_processed->value();
+  c.results_produced = c_.results_produced->value();
+  c.spill_events = c_.spill_events->value();
+  c.forced_spill_events = c_.forced_spill_events->value();
+  c.spilled_bytes = c_.spilled_bytes->value();
+  c.relocations_out = c_.relocations_out->value();
+  c.relocations_in = c_.relocations_in->value();
+  c.bytes_relocated_out = c_.bytes_relocated_out->value();
+  c.bytes_relocated_in = c_.bytes_relocated_in->value();
+  c.restored_segments = c_.restored_segments->value();
+  c.restored_bytes = c_.restored_bytes->value();
+  c.restored_results = c_.restored_results->value();
+  c.evicted_tuples = c_.evicted_tuples->value();
+  c.eviction_segments = c_.eviction_segments->value();
+  c.spill_write_failures = c_.spill_write_failures->value();
+  c.tuples_per_stream.reserve(c_.tuples_per_stream.size());
+  for (const obs::Counter* cell : c_.tuples_per_stream) {
+    c.tuples_per_stream.push_back(cell->value());
+  }
+  return c;
 }
 
 void QueryEngine::OnTupleBatch(Tick now, TupleBatch&& batch) {
@@ -108,9 +165,23 @@ void QueryEngine::OnMessage(Tick now, const Message& message) {
           continue;
         }
         installed_bytes += mjoin_.state().total_bytes() - before;
+        if (DCAPE_TRACE_ACTIVE(tracer_)) {
+          tracer_->EmitInstant(
+              lane(), now, obs::ev::kRelocInstallGroup,
+              {obs::TraceArg::Int("partition", group.partition)},
+              transfer.relocation_id);
+        }
       }
-      counters_.relocations_in += 1;
-      counters_.bytes_relocated_in += installed_bytes;
+      c_.relocations_in->Increment();
+      c_.bytes_relocated_in->Add(installed_bytes);
+      if (DCAPE_TRACE_ACTIVE(tracer_)) {
+        tracer_->EmitInstant(
+            lane(), now, obs::ev::kRelocInstall,
+            {obs::TraceArg::Int("bytes", installed_bytes),
+             obs::TraceArg::Int("groups",
+                                static_cast<int64_t>(transfer.groups.size()))},
+            transfer.relocation_id);
+      }
 
       StatesInstalled ack;
       ack.relocation_id = transfer.relocation_id;
@@ -165,11 +236,19 @@ void QueryEngine::ProcessBatch(Tick now, const TupleBatch& batch) {
           std::to_string(partition));
     }
     mjoin_.Process(partition, tuple, &results);
-    counters_.tuples_processed += 1;
-    counters_.tuples_per_stream[static_cast<size_t>(tuple.stream_id)] += 1;
+    c_.tuples_processed->Increment();
+    c_.tuples_per_stream[static_cast<size_t>(tuple.stream_id)]->Increment();
+  }
+  if (DCAPE_TRACE_ACTIVE(tracer_) && tracer_->verbose()) {
+    tracer_->EmitInstant(
+        lane(), now, obs::ev::kBatch,
+        {obs::TraceArg::Int("tuples",
+                            static_cast<int64_t>(batch.tuples.size())),
+         obs::TraceArg::Int("results",
+                            static_cast<int64_t>(results.size()))});
   }
   if (!results.empty()) {
-    counters_.results_produced += static_cast<int64_t>(results.size());
+    c_.results_produced->Add(static_cast<int64_t>(results.size()));
     outputs_in_window_ += static_cast<int64_t>(results.size());
     ResultBatch out;
     out.results = std::move(results);
@@ -194,22 +273,32 @@ void QueryEngine::DoSpill(Tick now, const std::vector<PartitionId>& victims,
   mode_ = EngineMode::kStateSpill;
   StatusOr<MJoin::SpillOutcome> outcome = mjoin_.SpillPartitions(victims, now);
   DCAPE_CHECK(outcome.ok());
-  counters_.spilled_bytes += outcome->bytes;
+  c_.spilled_bytes->Add(outcome->bytes);
   if (forced) {
-    counters_.forced_spill_events += 1;
+    c_.forced_spill_events->Increment();
   } else {
-    counters_.spill_events += 1;
+    c_.spill_events->Increment();
   }
   if (outcome->failed_groups > 0) {
     // Transient write failures: the affected groups were reinstalled in
     // memory (no state lost) and will be retried by a later spill check.
-    counters_.spill_write_failures += outcome->failed_groups;
+    c_.spill_write_failures->Add(outcome->failed_groups);
     DCAPE_LOG(kWarning) << "engine " << config_.engine_id << " kept "
                         << outcome->failed_groups
                         << " groups in memory after spill write failure: "
                         << outcome->first_error.ToString();
   }
   busy_until_ = std::max(busy_until_, now) + outcome->io_ticks;
+  c_.busy_io_ticks->Add(outcome->io_ticks);
+  c_.spill_io_ticks->Add(outcome->io_ticks);
+  if (DCAPE_TRACE_ACTIVE(tracer_)) {
+    tracer_->EmitComplete(
+        lane(), now, obs::ev::kSpill, outcome->io_ticks,
+        {obs::TraceArg::Int("groups", outcome->groups),
+         obs::TraceArg::Int("bytes", outcome->bytes),
+         obs::TraceArg::Int("forced", forced ? 1 : 0),
+         obs::TraceArg::Int("failed_groups", outcome->failed_groups)});
+  }
   DCAPE_LOG(kInfo) << "engine " << config_.engine_id << " spilled "
                    << outcome->groups << " groups, " << outcome->bytes
                    << " bytes" << (forced ? " (forced)" : "") << " at t="
@@ -234,9 +323,12 @@ void QueryEngine::EvictExpired(Tick now) {
     has_disk.insert(meta.partition);
   }
   int64_t dropped = 0;
+  Tick io_total = 0;
+  int64_t tuples_total = 0;
   for (StateManager::ExtractedGroup& group : evicted) {
     if (has_disk.count(group.partition) == 0) {
-      counters_.evicted_tuples += group.tuple_count;
+      c_.evicted_tuples->Add(group.tuple_count);
+      tuples_total += group.tuple_count;
       ++dropped;
       continue;
     }
@@ -249,7 +341,7 @@ void QueryEngine::EvictExpired(Tick now) {
       // cleanup phase still crosses them against disk generations, and a
       // later eviction pass retries the write. Reinstalling our own
       // serialized blob cannot fail.
-      counters_.spill_write_failures += 1;
+      c_.spill_write_failures->Increment();
       DCAPE_LOG(kWarning) << "engine " << config_.engine_id
                           << " kept expired group " << group.partition
                           << " in memory after eviction write failure: "
@@ -257,9 +349,19 @@ void QueryEngine::EvictExpired(Tick now) {
       DCAPE_CHECK(mjoin_.state().InstallGroup(group.blob).ok());
       continue;
     }
-    counters_.evicted_tuples += group.tuple_count;
+    c_.evicted_tuples->Add(group.tuple_count);
+    tuples_total += group.tuple_count;
     busy_until_ = std::max(busy_until_, now) + *io;
-    counters_.eviction_segments += 1;
+    io_total += *io;
+    c_.eviction_segments->Increment();
+  }
+  c_.busy_io_ticks->Add(io_total);
+  if (DCAPE_TRACE_ACTIVE(tracer_)) {
+    tracer_->EmitComplete(
+        lane(), now, obs::ev::kEvict, io_total,
+        {obs::TraceArg::Int("groups", static_cast<int64_t>(evicted.size())),
+         obs::TraceArg::Int("tuples", tuples_total),
+         obs::TraceArg::Int("dropped", dropped)});
   }
   DCAPE_LOG(kDebug) << "engine " << config_.engine_id << " evicted "
                     << evicted.size() << " groups (" << dropped
@@ -331,16 +433,25 @@ void QueryEngine::MaybeRestore(Tick now) {
   DCAPE_CHECK(mjoin_.state().InstallGroup(*blob).ok());
   DCAPE_CHECK(spill_store_.RemoveSegment(segment_id).ok());
   busy_until_ = std::max(busy_until_, now) + io_ticks;
+  c_.busy_io_ticks->Add(io_ticks);
 
-  counters_.restored_segments += 1;
-  counters_.restored_bytes += bytes;
-  counters_.restored_results += static_cast<int64_t>(results.size());
+  c_.restored_segments->Increment();
+  c_.restored_bytes->Add(bytes);
+  c_.restored_results->Add(static_cast<int64_t>(results.size()));
+  if (DCAPE_TRACE_ACTIVE(tracer_)) {
+    tracer_->EmitComplete(
+        lane(), now, obs::ev::kRestore, io_ticks,
+        {obs::TraceArg::Int("segment", segment_id),
+         obs::TraceArg::Int("bytes", bytes),
+         obs::TraceArg::Int("results",
+                            static_cast<int64_t>(results.size()))});
+  }
   DCAPE_LOG(kInfo) << "engine " << config_.engine_id << " restored segment "
                    << segment_id << " (" << bytes << " B), producing "
                    << results.size() << " deferred results at t=" << now;
 
   if (!results.empty()) {
-    counters_.results_produced += static_cast<int64_t>(results.size());
+    c_.results_produced->Add(static_cast<int64_t>(results.size()));
     outputs_in_window_ += static_cast<int64_t>(results.size());
     ResultBatch out;
     out.results = std::move(results);
@@ -380,8 +491,25 @@ void QueryEngine::MaybeFinishOutgoing(Tick now, int64_t relocation_id) {
     transfer.groups.push_back(
         SerializedGroup{group.partition, std::move(group.blob)});
   }
-  counters_.relocations_out += 1;
-  counters_.bytes_relocated_out += bytes;
+  c_.relocations_out->Increment();
+  c_.bytes_relocated_out->Add(bytes);
+  if (DCAPE_TRACE_ACTIVE(tracer_)) {
+    for (const SerializedGroup& group : transfer.groups) {
+      tracer_->EmitInstant(
+          lane(), now, obs::ev::kRelocShipGroup,
+          {obs::TraceArg::Int("partition", group.partition),
+           obs::TraceArg::Int("bytes",
+                              static_cast<int64_t>(group.bytes.size()))},
+          relocation_id);
+    }
+    tracer_->EmitInstant(
+        lane(), now, obs::ev::kRelocShip,
+        {obs::TraceArg::Int("groups",
+                            static_cast<int64_t>(transfer.groups.size())),
+         obs::TraceArg::Int("bytes", bytes),
+         obs::TraceArg::Int("receiver", out.receiver)},
+        relocation_id);
+  }
   if (config_.invariants != nullptr) {
     for (PartitionId p : out.partitions) relocated_away_.insert(p);
   }

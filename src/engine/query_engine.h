@@ -17,6 +17,8 @@
 #include "core/strategy.h"
 #include "net/message.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "operators/mjoin.h"
 #include "storage/disk_backend.h"
 #include "storage/spill_store.h"
@@ -71,6 +73,13 @@ struct EngineConfig {
   /// for a partition whose state was relocated away — instead of
   /// silently producing wrong results.
   sim::InvariantRecorder* invariants = nullptr;
+  /// Unified metrics registry (unowned). The engine registers its
+  /// engine.* and storage.* cells there; when null it owns a private
+  /// registry (standalone use in unit tests).
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Structured tracer (unowned; null = tracing disabled). The engine
+  /// emits on lane `node_id`.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One query engine of the distributed architecture (paper Fig. 4): hosts
@@ -85,7 +94,10 @@ struct EngineConfig {
 /// after a spill (visible in the paper's Fig. 13).
 class QueryEngine {
  public:
-  /// Cumulative event counters for experiment summaries.
+  /// Cumulative event counters for experiment summaries. This is a
+  /// *snapshot view*: the authoritative cells live in the metrics
+  /// registry (obs/metrics.h) and `counters()` materializes them on
+  /// demand, so existing call sites keep working unchanged.
   struct Counters {
     int64_t tuples_processed = 0;
     int64_t results_produced = 0;
@@ -158,7 +170,9 @@ class QueryEngine {
   MJoin& mjoin() { return mjoin_; }
   const MJoin& mjoin() const { return mjoin_; }
   const SpillStore& spill_store() const { return spill_store_; }
-  const Counters& counters() const { return counters_; }
+  /// Snapshot of the registry-backed counters (by value; `const auto&`
+  /// call sites bind to the temporary).
+  Counters counters() const;
   const EngineConfig& config() const { return config_; }
   EngineMode mode() const { return mode_; }
   /// Tracked memory-resident state bytes (the quantity all thresholds and
@@ -188,8 +202,17 @@ class QueryEngine {
   /// authorization and all drain markers have arrived.
   void MaybeFinishOutgoing(Tick now, int64_t relocation_id);
 
+  /// The engine's trace lane is its network node id.
+  int lane() const { return static_cast<int>(config_.node_id); }
+
   EngineConfig config_;
   Network* network_;
+  /// Private registry when the config did not supply one; declared (and
+  /// therefore constructed) before spill_store_ and the cells below,
+  /// which point into it.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Tracer* tracer_;
   SpillStore spill_store_;
   MJoin mjoin_;
   LocalController controller_;
@@ -205,7 +228,30 @@ class QueryEngine {
   /// flag tuples that arrive at a non-owner.
   std::set<PartitionId> relocated_away_;
   int64_t outputs_in_window_ = 0;
-  Counters counters_;
+  /// Registry-owned cells backing the Counters snapshot (registered in
+  /// the constructor, entity = engine id).
+  struct Cells {
+    obs::Counter* tuples_processed;
+    obs::Counter* results_produced;
+    obs::Counter* spill_events;
+    obs::Counter* forced_spill_events;
+    obs::Counter* spilled_bytes;
+    obs::Counter* relocations_out;
+    obs::Counter* relocations_in;
+    obs::Counter* bytes_relocated_out;
+    obs::Counter* bytes_relocated_in;
+    obs::Counter* restored_segments;
+    obs::Counter* restored_bytes;
+    obs::Counter* restored_results;
+    obs::Counter* evicted_tuples;
+    obs::Counter* eviction_segments;
+    obs::Counter* spill_write_failures;
+    obs::Counter* busy_io_ticks;
+    obs::Counter* spill_io_ticks;
+    /// Indexed by stream id.
+    std::vector<obs::Counter*> tuples_per_stream;
+  };
+  Cells c_;
 };
 
 }  // namespace dcape

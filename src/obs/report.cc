@@ -1,0 +1,167 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dcape {
+namespace obs {
+namespace {
+
+void AppendTime(std::string* out, Tick tick) {
+  // Virtual ticks are milliseconds.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "[%9.1fs] ",
+                static_cast<double>(tick) / 1000.0);
+  out->append(buf);
+}
+
+void AppendLane(std::string* out, const Tracer& tracer, int lane) {
+  const std::string& name = tracer.lane_name(lane);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%-12s ",
+                name.empty() ? "?" : name.c_str());
+  out->append(buf);
+}
+
+void AppendArgs(std::string* out, const TraceEvent& e) {
+  for (const TraceArg& a : e.args) {
+    out->push_back(' ');
+    out->append(a.key);
+    out->push_back('=');
+    if (a.is_double) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", a.d);
+      out->append(buf);
+    } else {
+      out->append(std::to_string(a.i));
+    }
+  }
+}
+
+bool IsName(const TraceEvent& e, const char* name) {
+  // Taxonomy constants are unique addresses, but compare content so
+  // traces rebuilt from parsed JSON (tests) behave the same.
+  return e.name == name || std::strcmp(e.name, name) == 0;
+}
+
+}  // namespace
+
+std::string RenderTimeline(const Tracer& tracer) {
+  std::string out;
+  out.append("adaptation timeline (virtual time)\n");
+
+  // Open async spans by (name, scope) -> begin tick, for durations.
+  std::map<std::pair<std::string, int64_t>, Tick> open;
+  int64_t relocations = 0, completed = 0, aborted = 0;
+  int64_t spills = 0, forced_spills = 0, evictions = 0, restores = 0;
+  int64_t force_spill_decisions = 0, cleanups = 0;
+  int64_t lines = 0;
+
+  for (const TraceEvent* e : tracer.Merged()) {
+    const char* verb = nullptr;
+    Tick duration = -1;
+    bool count_line = true;
+    // TracePhase is a rendering shape, not protocol state; all five
+    // values are handled. // dcape-lint: allow(phase-switch)
+    switch (e->phase) {
+      case TracePhase::kBegin:
+        open[{e->name, e->scope}] = e->tick;
+        if (IsName(*e, ev::kRelocation)) {
+          ++relocations;
+          verb = "begin";
+        } else {
+          count_line = false;  // phase opens render at their close
+        }
+        break;
+      case TracePhase::kEnd: {
+        auto it = open.find({e->name, e->scope});
+        if (it != open.end()) {
+          duration = e->tick - it->second;
+          open.erase(it);
+        }
+        verb = "done";
+        if (IsName(*e, ev::kRelocation)) ++completed;
+        break;
+      }
+      case TracePhase::kInstant:
+        if (IsName(*e, ev::kBatch)) {
+          count_line = false;  // hot-path noise in verbose traces
+          break;
+        }
+        if (IsName(*e, ev::kRelocAbort)) {
+          ++aborted;
+          --completed;  // its kEnd still follows; don't double-count
+        }
+        if (IsName(*e, ev::kForceSpillDecide)) ++force_spill_decisions;
+        break;
+      case TracePhase::kComplete:
+        duration = e->duration;
+        if (IsName(*e, ev::kSpill)) ++spills;
+        if (IsName(*e, ev::kEvict)) ++evictions;
+        if (IsName(*e, ev::kRestore)) ++restores;
+        if (IsName(*e, ev::kCleanup)) ++cleanups;
+        break;
+      case TracePhase::kCounter:
+        count_line = false;  // sampled series; the CSVs carry these
+        break;
+    }
+    if (!count_line) continue;
+    ++lines;
+    out.append("  ");
+    AppendTime(&out, e->tick);
+    AppendLane(&out, tracer, e->lane);
+    out.append(e->name);
+    if (verb != nullptr) {
+      out.push_back(' ');
+      out.append(verb);
+    }
+    if (e->scope >= 0) {
+      out.append(" #");
+      out.append(std::to_string(e->scope));
+    }
+    if (duration >= 0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " (%.1fs)",
+                    static_cast<double>(duration) / 1000.0);
+      out.append(buf);
+    }
+    AppendArgs(&out, *e);
+    out.push_back('\n');
+
+    // Count forced spills from the spill span's own args.
+    if (e->phase == TracePhase::kComplete && IsName(*e, ev::kSpill)) {
+      for (const TraceArg& a : e->args) {
+        if (std::strcmp(a.key, "forced") == 0 && a.i != 0) ++forced_spills;
+      }
+    }
+  }
+
+  if (lines == 0) out.append("  (no adaptation events)\n");
+  out.append("summary: ");
+  out.append(std::to_string(relocations));
+  out.append(" relocations (");
+  out.append(std::to_string(completed));
+  out.append(" completed, ");
+  out.append(std::to_string(aborted));
+  out.append(" aborted), ");
+  out.append(std::to_string(spills));
+  out.append(" spills (");
+  out.append(std::to_string(forced_spills));
+  out.append(" forced, ");
+  out.append(std::to_string(force_spill_decisions));
+  out.append(" coordinator-directed), ");
+  out.append(std::to_string(evictions));
+  out.append(" evictions, ");
+  out.append(std::to_string(restores));
+  out.append(" restores, ");
+  out.append(std::to_string(cleanups));
+  out.append(" cleanup passes\n");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dcape

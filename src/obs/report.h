@@ -1,0 +1,23 @@
+#ifndef DCAPE_OBS_REPORT_H_
+#define DCAPE_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace dcape {
+namespace obs {
+
+/// Renders the structured trace as a human-readable adaptation timeline
+/// (`dcape_run --report=timeline`): one line per adaptation event —
+/// relocation decisions and protocol phases, spills, evictions,
+/// restores, forced-spill decisions, cleanup — in the deterministic
+/// merge order, stamped with virtual seconds and the emitting node, with
+/// the triggering statistics from the event's args. Ends with a count
+/// summary. Byte-identical for byte-identical traces.
+std::string RenderTimeline(const Tracer& tracer);
+
+}  // namespace obs
+}  // namespace dcape
+
+#endif  // DCAPE_OBS_REPORT_H_

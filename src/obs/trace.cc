@@ -1,0 +1,267 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dcape {
+namespace obs {
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendArgs(std::string* out, const std::vector<TraceArg>& args) {
+  out->append("\"args\":{");
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->push_back('"');
+    out->append(args[i].key);
+    out->append("\":");
+    if (args[i].is_double) {
+      char buf[32];
+      // %.6g of the same double is byte-stable on one platform, which is
+      // what the trace-determinism contract compares.
+      std::snprintf(buf, sizeof(buf), "%.6g", args[i].d);
+      out->append(buf);
+    } else {
+      out->append(std::to_string(args[i].i));
+    }
+  }
+  out->push_back('}');
+}
+
+const char* PhaseCode(TracePhase phase) {
+  switch (phase) {
+    case TracePhase::kInstant:
+      return "i";
+    case TracePhase::kComplete:
+      return "X";
+    case TracePhase::kBegin:
+      return "b";
+    case TracePhase::kEnd:
+      return "e";
+    case TracePhase::kCounter:
+      return "C";
+    default:
+      DCAPE_CHECK(false);
+      return "?";
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(int num_lanes, bool verbose)
+    : lanes_(static_cast<size_t>(num_lanes)),
+      lane_names_(static_cast<size_t>(num_lanes)),
+      verbose_(verbose) {
+  DCAPE_CHECK_GT(num_lanes, 0);
+}
+
+void Tracer::SetLaneName(int lane, std::string name) {
+  lane_names_[static_cast<size_t>(lane)] = std::move(name);
+}
+
+void Tracer::Emit(TraceEvent event) {
+  DCAPE_CHECK(event.name != nullptr);
+  DCAPE_CHECK_GE(event.lane, 0);
+  DCAPE_CHECK_LT(static_cast<size_t>(event.lane), lanes_.size());
+  lanes_[static_cast<size_t>(event.lane)].push_back(std::move(event));
+}
+
+void Tracer::EmitInstant(int lane, Tick tick, const char* name,
+                         std::vector<TraceArg> args, int64_t scope) {
+  TraceEvent e;
+  e.tick = tick;
+  e.lane = lane;
+  e.phase = TracePhase::kInstant;
+  e.name = name;
+  e.scope = scope;
+  e.args = std::move(args);
+  Emit(std::move(e));
+}
+
+void Tracer::EmitComplete(int lane, Tick tick, const char* name,
+                          Tick duration, std::vector<TraceArg> args,
+                          int64_t scope) {
+  TraceEvent e;
+  e.tick = tick;
+  e.lane = lane;
+  e.phase = TracePhase::kComplete;
+  e.name = name;
+  e.scope = scope;
+  e.duration = duration;
+  e.args = std::move(args);
+  Emit(std::move(e));
+}
+
+void Tracer::BeginSpan(int lane, Tick tick, const char* name, int64_t scope,
+                       std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.tick = tick;
+  e.lane = lane;
+  e.phase = TracePhase::kBegin;
+  e.name = name;
+  e.scope = scope;
+  e.args = std::move(args);
+  Emit(std::move(e));
+}
+
+void Tracer::EndSpan(int lane, Tick tick, const char* name, int64_t scope,
+                     std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.tick = tick;
+  e.lane = lane;
+  e.phase = TracePhase::kEnd;
+  e.name = name;
+  e.scope = scope;
+  e.args = std::move(args);
+  Emit(std::move(e));
+}
+
+void Tracer::EmitCounter(int lane, Tick tick, const char* name,
+                         int64_t value) {
+  TraceEvent e;
+  e.tick = tick;
+  e.lane = lane;
+  e.phase = TracePhase::kCounter;
+  e.name = name;
+  e.value = value;
+  Emit(std::move(e));
+}
+
+int64_t Tracer::event_count() const {
+  int64_t n = 0;
+  for (const auto& lane : lanes_) n += static_cast<int64_t>(lane.size());
+  return n;
+}
+
+std::vector<const TraceEvent*> Tracer::Merged() const {
+  struct Key {
+    const TraceEvent* event;
+    size_t index;  // per-lane emit order
+  };
+  std::vector<Key> keys;
+  keys.reserve(static_cast<size_t>(event_count()));
+  for (const auto& lane : lanes_) {
+    for (size_t i = 0; i < lane.size(); ++i) keys.push_back({&lane[i], i});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    if (a.event->tick != b.event->tick) return a.event->tick < b.event->tick;
+    if (a.event->lane != b.event->lane) return a.event->lane < b.event->lane;
+    return a.index < b.index;
+  });
+  std::vector<const TraceEvent*> merged;
+  merged.reserve(keys.size());
+  for (const Key& k : keys) merged.push_back(k.event);
+  return merged;
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::string out;
+  out.reserve(256 + static_cast<size_t>(event_count()) * 96);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+  bool first = true;
+  for (size_t lane = 0; lane < lane_names_.size(); ++lane) {
+    if (lane_names_[lane].empty()) continue;
+    if (!first) out.append(",\n");
+    first = false;
+    out.append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+    out.append(std::to_string(lane));
+    out.append(",\"tid\":0,\"args\":{\"name\":");
+    AppendJsonString(&out, lane_names_[lane]);
+    out.append("}}");
+  }
+  for (const TraceEvent* e : Merged()) {
+    if (!first) out.append(",\n");
+    first = false;
+    out.append("{\"name\":\"");
+    out.append(e->name);
+    out.append("\",\"ph\":\"");
+    out.append(PhaseCode(e->phase));
+    out.append("\",\"pid\":");
+    out.append(std::to_string(e->lane));
+    out.append(",\"tid\":0,\"ts\":");
+    out.append(std::to_string(e->tick * 1000));  // virtual ms -> µs
+    if (e->phase == TracePhase::kComplete) {
+      out.append(",\"dur\":");
+      out.append(std::to_string(e->duration * 1000));
+    }
+    if (e->phase == TracePhase::kBegin || e->phase == TracePhase::kEnd) {
+      out.append(",\"cat\":\"dcape\",\"id\":\"0x");
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%llx",
+                    static_cast<unsigned long long>(e->scope));
+      out.append(buf);
+      out.append("\"");
+    }
+    if (e->phase == TracePhase::kInstant) {
+      out.append(",\"s\":\"p\"");
+    }
+    out.push_back(',');
+    if (e->phase == TracePhase::kCounter) {
+      out.append("\"args\":{\"value\":");
+      out.append(std::to_string(e->value));
+      out.append("}");
+    } else {
+      std::vector<TraceArg> args = e->args;
+      if (e->scope >= 0 && e->phase != TracePhase::kBegin &&
+          e->phase != TracePhase::kEnd) {
+        args.push_back(TraceArg::Int("scope", e->scope));
+      }
+      AppendArgs(&out, args);
+    }
+    out.append("}");
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+std::vector<std::string> Tracer::OpenSpans() const {
+  // Async spans are keyed by (lane, name, scope); begin/end must pair up
+  // exactly. std::map keeps the report order deterministic.
+  std::map<std::tuple<int32_t, std::string, int64_t>, int64_t> balance;
+  for (const auto& lane : lanes_) {
+    for (const TraceEvent& e : lane) {
+      if (e.phase == TracePhase::kBegin) {
+        balance[{e.lane, e.name, e.scope}] += 1;
+      } else if (e.phase == TracePhase::kEnd) {
+        balance[{e.lane, e.name, e.scope}] -= 1;
+      }
+    }
+  }
+  std::vector<std::string> open;
+  for (const auto& [key, count] : balance) {
+    if (count == 0) continue;
+    const auto& [lane, name, scope] = key;
+    open.push_back((count > 0 ? "unclosed span " : "unopened end ") + name +
+                   " scope=" + std::to_string(scope) + " lane=" +
+                   std::to_string(lane) + " (balance " +
+                   std::to_string(count) + ")");
+  }
+  return open;
+}
+
+}  // namespace obs
+}  // namespace dcape

@@ -30,6 +30,25 @@ Cluster::Cluster(const ClusterConfig& config)
   const int num_streams = config_.workload.num_streams;
   const int num_hosts =
       std::clamp(config_.num_split_hosts, 1, num_streams);
+
+  if (config_.trace) {
+    // Lanes: engines 0..N-1, coordinator, sink, generator, split hosts,
+    // plus one driver lane (cleanup spans, run-level events).
+    const int highest_node = generator_node_ + num_hosts;
+    tracer_ = std::make_unique<obs::Tracer>(highest_node + 2,
+                                            config_.trace_verbose);
+    for (EngineId e = 0; e < config_.num_engines; ++e) {
+      tracer_->SetLaneName(e, "engine " + std::to_string(e));
+    }
+    tracer_->SetLaneName(coordinator_node_, "coordinator");
+    tracer_->SetLaneName(sink_node_, "sink");
+    tracer_->SetLaneName(generator_node_, "generator");
+    for (int h = 0; h < num_hosts; ++h) {
+      tracer_->SetLaneName(generator_node_ + 1 + h,
+                           "split host " + std::to_string(h));
+    }
+    tracer_->SetLaneName(tracer_->driver_lane(), "cluster");
+  }
   // The cleanup phase must project and window results identically to
   // the engines.
   config_.cleanup.projection = config_.projection;
@@ -76,6 +95,8 @@ Cluster::Cluster(const ClusterConfig& config)
     }
     engine_config.seed = config_.seed + 1000 + static_cast<uint64_t>(e);
     engine_config.invariants = config_.invariants.get();
+    engine_config.metrics = &metrics_;
+    engine_config.tracer = tracer_.get();
 
     std::unique_ptr<DiskBackend> backend;
     if (config_.use_file_backend) {
@@ -115,6 +136,8 @@ Cluster::Cluster(const ClusterConfig& config)
   coord_config.relocation = config_.relocation;
   coord_config.active = config_.active_disk;
   coord_config.invariants = config_.invariants.get();
+  coord_config.metrics = &metrics_;
+  coord_config.tracer = tracer_.get();
   coordinator_ = std::make_unique<GlobalCoordinator>(coord_config, &network_);
 
   // Split hosts: streams assigned round-robin over the hosts.
@@ -137,6 +160,7 @@ Cluster::Cluster(const ClusterConfig& config)
     }
     split_config.project_payload_to = config_.project_payload_to;
     split_config.invariants = config_.invariants.get();
+    split_config.tracer = tracer_.get();
     split_hosts_.push_back(std::make_unique<SplitHost>(
         split_config, placement_, &network_));
   }
@@ -263,6 +287,20 @@ void Cluster::SampleIfDue(Tick now, bool force) {
         now,
         static_cast<double>(engines_[static_cast<size_t>(e)]->state_bytes()));
   }
+  // Sampled counter events ride the trace at the same cadence as the
+  // series. This runs serially between ticks, so emitting on other
+  // nodes' lanes honors the one-writer-per-lane contract.
+  if (DCAPE_TRACE_ACTIVE(tracer_.get())) {
+    for (EngineId e = 0; e < config_.num_engines; ++e) {
+      const QueryEngine& engine = *engines_[static_cast<size_t>(e)];
+      tracer_->EmitCounter(e, now, obs::ev::kStateBytes,
+                           engine.state_bytes());
+      tracer_->EmitCounter(e, now, obs::ev::kDiskResidentBytes,
+                           engine.spill_store().resident_bytes());
+    }
+    tracer_->EmitCounter(sink_node_, now, obs::ev::kSinkResults,
+                         sink_.total());
+  }
 }
 
 void Cluster::RunUntil(Tick end) {
@@ -312,7 +350,26 @@ StatusOr<CleanupStats> Cluster::RunCleanup() {
     states.push_back(&engine->mjoin().state());
   }
   CleanupProcessor processor(config_.cleanup, config_.workload.num_streams);
-  return processor.Run(stores, states, &pool_);
+  StatusOr<CleanupStats> stats = processor.Run(stores, states, &pool_);
+  // The cleanup pass has no per-node event loop; its spans are emitted
+  // post-hoc from the driver lane out of the stats it reports.
+  if (stats.ok() && DCAPE_TRACE_ACTIVE(tracer_.get())) {
+    const Tick start = clock_.now();
+    tracer_->EmitComplete(
+        tracer_->driver_lane(), start, obs::ev::kCleanup, stats->total_ticks,
+        {obs::TraceArg::Int("results", stats->result_count),
+         obs::TraceArg::Int("segments_read", stats->segments_read),
+         obs::TraceArg::Int("bytes_read", stats->bytes_read),
+         obs::TraceArg::Int("partitions_cleaned",
+                            stats->partitions_cleaned)});
+    for (size_t e = 0; e < stats->engine_ticks.size(); ++e) {
+      tracer_->EmitComplete(
+          static_cast<int>(e), start, obs::ev::kCleanupEngine,
+          stats->engine_ticks[e],
+          {obs::TraceArg::Int("engine", static_cast<int64_t>(e))});
+    }
+  }
+  return stats;
 }
 
 RunResult Cluster::Collect() {
@@ -328,10 +385,10 @@ RunResult Cluster::Collect() {
   const int64_t queue_high_water =
       io_executor_ != nullptr ? io_executor_->queue_high_water() : 0;
   for (auto& engine : engines_) {
-    result.engines.push_back(engine->counters());
-    result.spilled_bytes += engine->counters().spilled_bytes;
-    result.spill_events += engine->counters().spill_events +
-                           engine->counters().forced_spill_events;
+    QueryEngine::Counters ec = engine->counters();
+    result.spilled_bytes += ec.spilled_bytes;
+    result.spill_events += ec.spill_events + ec.forced_spill_events;
+    result.engines.push_back(std::move(ec));
     const SpillStore& store = engine->spill_store();
     StorageCounters storage;
     storage.segments_written = store.segments_written();

@@ -10,6 +10,8 @@
 #include "core/global_coordinator.h"
 #include "engine/query_engine.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "operators/aggregate.h"
 #include "operators/sink.h"
 #include "operators/union_op.h"
@@ -96,6 +98,13 @@ class Cluster {
   NodeId sink_node() const { return sink_node_; }
   NodeId generator_node() const { return generator_node_; }
 
+  /// The unified metrics registry: every engine/coordinator/storage
+  /// counter in the cluster lives here (single source for RunResult and
+  /// the trace's sampled counter events).
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The structured trace, or null when `config.trace` is off.
+  const obs::Tracer* tracer() const { return tracer_.get(); }
+
  private:
   void StepTick(Tick now, bool generate);
   void SampleIfDue(Tick now, bool force = false);
@@ -118,6 +127,11 @@ class Cluster {
   NodeId coordinator_node_;
   NodeId sink_node_;
   NodeId generator_node_;
+  /// Declared before the engines/coordinator, whose metric cells point
+  /// into it (and are therefore destroyed first).
+  obs::MetricsRegistry metrics_;
+  /// Null unless config_.trace; lanes = every node + one driver lane.
+  std::unique_ptr<obs::Tracer> tracer_;
   ExecPool pool_;
   Network network_;
   std::vector<EngineId> placement_;

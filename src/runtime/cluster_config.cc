@@ -1,6 +1,8 @@
 #include "runtime/cluster_config.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 
@@ -44,6 +46,250 @@ std::vector<PartitionId> PartitionsOfEngine(
     if (placement[p] == engine) ids.push_back(static_cast<PartitionId>(p));
   }
   return ids;
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::MarkSet(
+    std::string_view flag) {
+  if (!IsSet(flag)) set_flags_.emplace_back(flag);
+  return *this;
+}
+
+bool ClusterConfig::Builder::IsSet(std::string_view flag) const {
+  return std::find(set_flags_.begin(), set_flags_.end(), flag) !=
+         set_flags_.end();
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetStrategy(
+    AdaptationStrategy strategy) {
+  config_.strategy = strategy;
+  return MarkSet("--strategy");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetNumEngines(int n) {
+  config_.num_engines = n;
+  return MarkSet("--engines");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetNumSplitHosts(int n) {
+  config_.num_split_hosts = n;
+  return MarkSet("--split-hosts");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetNumThreads(int n) {
+  config_.num_threads = n;
+  return MarkSet("--threads");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetNumStreams(int n) {
+  config_.workload.num_streams = n;
+  return MarkSet("--streams");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetNumPartitions(int n) {
+  config_.workload.num_partitions = n;
+  return MarkSet("--partitions");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetRunDuration(Tick ticks) {
+  config_.run_duration = ticks;
+  return MarkSet("--duration-min");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetSeed(uint64_t seed) {
+  config_.seed = seed;
+  config_.workload.seed = seed;
+  return MarkSet("--seed");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetJoinWindowTicks(
+    Tick ticks) {
+  config_.join_window_ticks = ticks;
+  return MarkSet("--window-sec");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetPlacementFractions(
+    std::vector<double> fractions) {
+  config_.placement_fractions = std::move(fractions);
+  return MarkSet("--placement");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetMemoryThresholdBytes(
+    int64_t bytes) {
+  config_.spill.memory_threshold_bytes = bytes;
+  return MarkSet("--threshold-kib");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetSpillFraction(
+    double fraction) {
+  config_.spill.spill_fraction = fraction;
+  return MarkSet("--spill-fraction");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetSpillPolicy(
+    SpillPolicy policy) {
+  config_.spill.policy = policy;
+  return MarkSet("--spill-policy");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetRestoreEnabled(
+    bool enabled) {
+  config_.restore.enabled = enabled;
+  return MarkSet("--restore");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetThetaR(double theta) {
+  config_.relocation.theta_r = theta;
+  return MarkSet("--theta");
+}
+
+ClusterConfig::Builder&
+ClusterConfig::Builder::SetMinTimeBetweenRelocations(Tick ticks) {
+  config_.relocation.min_time_between = ticks;
+  return MarkSet("--tau-sec");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetRelocationModel(
+    RelocationModel model) {
+  config_.relocation.model = model;
+  return MarkSet("--relocation-model");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetLambda(double lambda) {
+  config_.active_disk.lambda = lambda;
+  return MarkSet("--lambda");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetProductivityModel(
+    ProductivityModel model) {
+  config_.productivity.model = model;
+  return MarkSet("--productivity");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetEwmaAlpha(double alpha) {
+  config_.productivity.ewma_alpha = alpha;
+  return MarkSet("--ewma-alpha");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetTrace(bool enabled) {
+  config_.trace = enabled;
+  return MarkSet("--trace");
+}
+
+ClusterConfig::Builder& ClusterConfig::Builder::SetTraceVerbose(
+    bool enabled) {
+  config_.trace_verbose = enabled;
+  return MarkSet("--trace-verbose");
+}
+
+Status ClusterConfig::Builder::Validate() const {
+  const ClusterConfig& c = config_;
+  // Unconditional range checks (defaults all pass; these catch both CLI
+  // values and programmatic construction errors).
+  if (c.num_engines < 1 || c.num_engines > 64) {
+    return Status::InvalidArgument("--engines must be in [1, 64]");
+  }
+  if (c.num_split_hosts < 1) {
+    return Status::InvalidArgument("--split-hosts must be >= 1");
+  }
+  if (c.num_threads < 1 || c.num_threads > 256) {
+    return Status::InvalidArgument("--threads must be in [1, 256]");
+  }
+  if (c.workload.num_streams < 2 || c.workload.num_streams > 16) {
+    return Status::InvalidArgument("--streams must be in [2, 16]");
+  }
+  if (c.workload.num_partitions < 1) {
+    return Status::InvalidArgument("--partitions must be >= 1");
+  }
+  if (c.workload.inter_arrival_ticks < 1) {
+    return Status::InvalidArgument("--inter-arrival-ms must be >= 1");
+  }
+  if (c.workload.payload_bytes < 0) {
+    return Status::InvalidArgument("--payload-bytes must be >= 0");
+  }
+  if (c.run_duration < 1) {
+    return Status::InvalidArgument("--duration-min must be >= 1");
+  }
+  if (c.join_window_ticks < 0) {
+    return Status::InvalidArgument("--window-sec must be >= 0");
+  }
+  if (c.spill.memory_threshold_bytes < 1) {
+    return Status::InvalidArgument("--threshold-kib must be >= 1");
+  }
+  if (c.spill.spill_fraction <= 0 || c.spill.spill_fraction > 1) {
+    return Status::InvalidArgument("--spill-fraction must be in (0, 1]");
+  }
+  if (c.relocation.theta_r <= 0 || c.relocation.theta_r >= 1) {
+    return Status::InvalidArgument("--theta must be in (0, 1)");
+  }
+  if (c.relocation.min_time_between < 0) {
+    return Status::InvalidArgument("--tau-sec must be >= 0");
+  }
+  if (c.active_disk.lambda <= 1) {
+    return Status::InvalidArgument("--lambda must be > 1");
+  }
+  if (c.productivity.ewma_alpha <= 0 || c.productivity.ewma_alpha > 1) {
+    return Status::InvalidArgument("--ewma-alpha must be in (0, 1]");
+  }
+  if (c.workload.fluctuation.hot_multiplier < 1) {
+    return Status::InvalidArgument("--hot-mult must be >= 1");
+  }
+  if (!c.placement_fractions.empty() &&
+      c.placement_fractions.size() != static_cast<size_t>(c.num_engines)) {
+    return Status::InvalidArgument(
+        "--placement must list one share per engine");
+  }
+  if (!c.per_engine_thresholds.empty() &&
+      c.per_engine_thresholds.size() != static_cast<size_t>(c.num_engines)) {
+    return Status::InvalidArgument(
+        "per_engine_thresholds must list one threshold per engine");
+  }
+  if (!c.per_engine_segment_format.empty() &&
+      c.per_engine_segment_format.size() !=
+          static_cast<size_t>(c.num_engines)) {
+    return Status::InvalidArgument(
+        "per_engine_segment_format must list one format per engine");
+  }
+  if (c.trace_verbose && !c.trace) {
+    return Status::InvalidArgument("--trace-verbose requires --trace");
+  }
+
+  // Strategy-consistency checks: spill/relocation tuning knobs are
+  // silently inert under a strategy that never consults them; reject the
+  // combination instead, naming the offending field — but only when it
+  // was set explicitly (defaults are always consistent).
+  if (!StrategySpillsLocally(c.strategy)) {
+    for (const char* flag :
+         {"--restore", "--spill-fraction", "--spill-policy"}) {
+      if (IsSet(flag)) {
+        return Status::InvalidArgument(
+            std::string(flag) + " requires a spilling strategy "
+            "(--strategy=spill-only|lazy-disk|active-disk), got --strategy=" +
+            StrategyName(c.strategy));
+      }
+    }
+  }
+  if (!StrategyRelocates(c.strategy)) {
+    for (const char* flag : {"--theta", "--tau-sec", "--relocation-model"}) {
+      if (IsSet(flag)) {
+        return Status::InvalidArgument(
+            std::string(flag) + " requires a relocating strategy "
+            "(--strategy=relocation-only|lazy-disk|active-disk), got "
+            "--strategy=" +
+            StrategyName(c.strategy));
+      }
+    }
+  }
+  if (c.strategy != AdaptationStrategy::kActiveDisk && IsSet("--lambda")) {
+    return Status::InvalidArgument(
+        "--lambda requires --strategy=active-disk, got --strategy=" +
+        std::string(StrategyName(c.strategy)));
+  }
+  return Status::OK();
+}
+
+StatusOr<ClusterConfig> ClusterConfig::Builder::Build() const {
+  DCAPE_RETURN_IF_ERROR(Validate());
+  return config_;
 }
 
 }  // namespace dcape

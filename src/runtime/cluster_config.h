@@ -5,10 +5,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cleanup/cleanup.h"
 #include "common/ids.h"
+#include "common/status.h"
 #include "common/virtual_clock.h"
 #include "core/productivity.h"
 #include "core/strategy.h"
@@ -114,6 +116,17 @@ struct ClusterConfig {
   /// Run the cleanup phase after the run-time phase.
   bool run_cleanup = true;
 
+  /// Structured adaptation tracing (obs/trace.h): when on, the cluster
+  /// owns a deterministic Tracer, every adaptation decision, relocation
+  /// protocol phase, spill/evict/restore, and cleanup pass emits a
+  /// virtual-clock-stamped event, and the trace is exportable as Chrome
+  /// trace_event JSON (dcape_run --trace-out). Bit-identical for every
+  /// `num_threads`; off = zero cost (no tracer is constructed).
+  bool trace = false;
+  /// Additionally record hot-path data-plane events (per-batch engine
+  /// instants). Large traces; off by default.
+  bool trace_verbose = false;
+
   uint64_t seed = 42;
 
   /// Chaos hooks (sim/). When `fault_plan` is set the network injects
@@ -124,6 +137,84 @@ struct ClusterConfig {
   /// them. Both null in production runs — zero overhead.
   std::shared_ptr<sim::FaultPlan> fault_plan;
   std::shared_ptr<sim::InvariantRecorder> invariants;
+
+  /// Fluent, validated construction (declared below). ClusterConfig
+  /// itself stays an aggregate — `ClusterConfig c; c.num_engines = 4;`
+  /// keeps working — the Builder adds range validation and the
+  /// strategy-consistency checks the CLI enforces.
+  class Builder;
+};
+
+/// Validated construction of a ClusterConfig.
+///
+/// Setters record the value and remember that the field was set
+/// explicitly; `Validate()` then applies (a) unconditional range checks
+/// and (b) strategy-consistency checks for the explicitly set fields
+/// only — exactly the rules `dcape_run` enforces on its command line,
+/// with identical wording (error messages name fields by their
+/// canonical CLI flag spelling, e.g. "--theta").
+///
+///   DCAPE_ASSIGN_OR_RETURN(
+///       ClusterConfig config,
+///       ClusterConfig::Builder()
+///           .SetStrategy(AdaptationStrategy::kLazyDisk)
+///           .SetNumEngines(4)
+///           .SetThetaR(0.75)
+///           .Build());
+class ClusterConfig::Builder {
+ public:
+  Builder() = default;
+  /// Starts from an existing aggregate (its fields count as defaults,
+  /// not as explicitly set).
+  explicit Builder(ClusterConfig base) : config_(std::move(base)) {}
+
+  Builder& SetStrategy(AdaptationStrategy strategy);
+  Builder& SetNumEngines(int n);
+  Builder& SetNumSplitHosts(int n);
+  Builder& SetNumThreads(int n);
+  Builder& SetNumStreams(int n);
+  Builder& SetNumPartitions(int n);
+  Builder& SetRunDuration(Tick ticks);
+  Builder& SetSeed(uint64_t seed);
+  Builder& SetJoinWindowTicks(Tick ticks);
+  Builder& SetPlacementFractions(std::vector<double> fractions);
+  Builder& SetMemoryThresholdBytes(int64_t bytes);
+  Builder& SetSpillFraction(double fraction);
+  Builder& SetSpillPolicy(SpillPolicy policy);
+  Builder& SetRestoreEnabled(bool enabled);
+  Builder& SetThetaR(double theta);
+  Builder& SetMinTimeBetweenRelocations(Tick ticks);
+  Builder& SetRelocationModel(RelocationModel model);
+  Builder& SetLambda(double lambda);
+  Builder& SetProductivityModel(ProductivityModel model);
+  Builder& SetEwmaAlpha(double alpha);
+  Builder& SetTrace(bool enabled);
+  Builder& SetTraceVerbose(bool enabled);
+
+  /// Escape hatch for fields without a dedicated setter (workload
+  /// details, chaos hooks, output options). Fields changed through here
+  /// get the unconditional range checks but no set-field consistency
+  /// check.
+  ClusterConfig& mutable_config() { return config_; }
+
+  /// Marks a field as explicitly set by its canonical CLI flag spelling
+  /// (e.g. "--theta") without changing its value; the CLI parser uses
+  /// this to hand its flag bookkeeping to Validate().
+  Builder& MarkSet(std::string_view flag);
+
+  /// Range checks plus strategy-consistency checks for explicitly set
+  /// fields. OK when the configuration is runnable.
+  [[nodiscard]] Status Validate() const;
+
+  /// Validate(), then the finished config.
+  [[nodiscard]] StatusOr<ClusterConfig> Build() const;
+
+ private:
+  bool IsSet(std::string_view flag) const;
+
+  ClusterConfig config_;
+  /// Canonical flag spellings of explicitly set fields.
+  std::vector<std::string> set_flags_;
 };
 
 /// Places partitions on engines in contiguous id blocks sized by

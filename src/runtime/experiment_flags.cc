@@ -56,7 +56,7 @@ StatusOr<std::vector<double>> ParseDoubleList(std::string_view key,
 StatusOr<ExperimentOptions> ParseExperimentFlags(
     const std::vector<std::string>& args) {
   ExperimentOptions options;
-  ClusterConfig& config = options.cluster;
+  ClusterConfig config;
   // dcape_run defaults: shorter run than the paper's 40 minutes.
   config.run_duration = MinutesToTicks(10);
   config.spill.memory_threshold_bytes = 24 * kMiB;
@@ -95,6 +95,14 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
       config.restore.enabled = true;
       continue;
     }
+    if (view == "--trace") {
+      config.trace = true;
+      continue;
+    }
+    if (view == "--trace-verbose") {
+      config.trace_verbose = true;
+      continue;
+    }
     if (view == "--async-io") {
       config.async_spill_io = true;
       continue;
@@ -111,43 +119,30 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
     const std::string_view key = view.substr(0, eq);
     const std::string_view value = view.substr(eq + 1);
 
+    // Range checks for the fields below live in
+    // ClusterConfig::Builder::Validate(), which runs after the loop.
     if (key == "--strategy") {
       DCAPE_ASSIGN_OR_RETURN(config.strategy, ParseStrategy(value));
     } else if (key == "--engines") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 1 || v > 64) {
-        return Status::InvalidArgument("--engines must be in [1, 64]");
-      }
       config.num_engines = static_cast<int>(v);
     } else if (key == "--split-hosts") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 1) return Status::InvalidArgument("--split-hosts must be >= 1");
       config.num_split_hosts = static_cast<int>(v);
     } else if (key == "--threads") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 1 || v > 256) {
-        return Status::InvalidArgument("--threads must be in [1, 256]");
-      }
       config.num_threads = static_cast<int>(v);
     } else if (key == "--streams") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 2 || v > 16) {
-        return Status::InvalidArgument("--streams must be in [2, 16]");
-      }
       config.workload.num_streams = static_cast<int>(v);
     } else if (key == "--partitions") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 1) return Status::InvalidArgument("--partitions must be >= 1");
       config.workload.num_partitions = static_cast<int>(v);
     } else if (key == "--duration-min") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 1) return Status::InvalidArgument("--duration-min must be >= 1");
       config.run_duration = MinutesToTicks(v);
     } else if (key == "--inter-arrival-ms") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 1) {
-        return Status::InvalidArgument("--inter-arrival-ms must be >= 1");
-      }
       config.workload.inter_arrival_ticks = v;
     } else if (key == "--join-rate") {
       DCAPE_ASSIGN_OR_RETURN(join_rate, ParseDouble(key, value));
@@ -161,7 +156,6 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
       }
     } else if (key == "--payload-bytes") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 0) return Status::InvalidArgument("--payload-bytes must be >= 0");
       config.workload.payload_bytes = static_cast<int>(v);
     } else if (key == "--seed") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
@@ -172,26 +166,17 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
                              ParseDoubleList(key, value));
     } else if (key == "--threshold-kib") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 1) return Status::InvalidArgument("--threshold-kib must be >= 1");
       config.spill.memory_threshold_bytes = v * kKiB;
     } else if (key == "--spill-fraction") {
       DCAPE_ASSIGN_OR_RETURN(config.spill.spill_fraction,
                              ParseDouble(key, value));
-      if (config.spill.spill_fraction <= 0 ||
-          config.spill.spill_fraction > 1) {
-        return Status::InvalidArgument("--spill-fraction must be in (0, 1]");
-      }
     } else if (key == "--spill-policy") {
       DCAPE_ASSIGN_OR_RETURN(config.spill.policy, ParseSpillPolicy(value));
     } else if (key == "--theta") {
       DCAPE_ASSIGN_OR_RETURN(config.relocation.theta_r,
                              ParseDouble(key, value));
-      if (config.relocation.theta_r <= 0 || config.relocation.theta_r >= 1) {
-        return Status::InvalidArgument("--theta must be in (0, 1)");
-      }
     } else if (key == "--tau-sec") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 0) return Status::InvalidArgument("--tau-sec must be >= 0");
       config.relocation.min_time_between = SecondsToTicks(v);
     } else if (key == "--relocation-model") {
       DCAPE_ASSIGN_OR_RETURN(config.relocation.model,
@@ -199,19 +184,12 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
     } else if (key == "--lambda") {
       DCAPE_ASSIGN_OR_RETURN(config.active_disk.lambda,
                              ParseDouble(key, value));
-      if (config.active_disk.lambda <= 1) {
-        return Status::InvalidArgument("--lambda must be > 1");
-      }
     } else if (key == "--productivity") {
       DCAPE_ASSIGN_OR_RETURN(config.productivity.model,
                              ParseProductivityModel(value));
     } else if (key == "--ewma-alpha") {
       DCAPE_ASSIGN_OR_RETURN(config.productivity.ewma_alpha,
                              ParseDouble(key, value));
-      if (config.productivity.ewma_alpha <= 0 ||
-          config.productivity.ewma_alpha > 1) {
-        return Status::InvalidArgument("--ewma-alpha must be in (0, 1]");
-      }
     } else if (key == "--phase-min") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
       if (v < 1) return Status::InvalidArgument("--phase-min must be >= 1");
@@ -219,12 +197,8 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
     } else if (key == "--hot-mult") {
       DCAPE_ASSIGN_OR_RETURN(config.workload.fluctuation.hot_multiplier,
                              ParseDouble(key, value));
-      if (config.workload.fluctuation.hot_multiplier < 1) {
-        return Status::InvalidArgument("--hot-mult must be >= 1");
-      }
     } else if (key == "--window-sec") {
       DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
-      if (v < 0) return Status::InvalidArgument("--window-sec must be >= 0");
       config.join_window_ticks = SecondsToTicks(v);
     } else if (key == "--segment-format") {
       if (value == "v1") {
@@ -241,50 +215,29 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
       options.record_trace_path = std::string(value);
     } else if (key == "--replay-trace") {
       options.replay_trace_path = std::string(value);
+    } else if (key == "--trace-out") {
+      options.trace_out_path = std::string(value);
+      config.trace = true;
+    } else if (key == "--report") {
+      if (value != "timeline") {
+        return Status::InvalidArgument("--report must be timeline");
+      }
+      options.report = std::string(value);
+      config.trace = true;
     } else {
       return Status::InvalidArgument("unknown flag '" + std::string(key) +
                                      "' (see --help)");
     }
   }
 
-  if (!config.placement_fractions.empty() &&
-      config.placement_fractions.size() !=
-          static_cast<size_t>(config.num_engines)) {
-    return Status::InvalidArgument(
-        "--placement must list one share per engine");
-  }
-  // Spill/relocation tuning flags are silently inert under a strategy
-  // that never consults them; reject the combination instead, naming the
-  // offending flag.
-  if (!StrategySpillsLocally(config.strategy)) {
-    for (const char* flag : {"--restore", "--spill-fraction",
-                             "--spill-policy"}) {
-      if (seen.count(flag) > 0) {
-        return Status::InvalidArgument(
-            std::string(flag) + " requires a spilling strategy "
-            "(--strategy=spill-only|lazy-disk|active-disk), got --strategy=" +
-            StrategyName(config.strategy));
-      }
-    }
-  }
-  if (!StrategyRelocates(config.strategy)) {
-    for (const char* flag : {"--theta", "--tau-sec", "--relocation-model"}) {
-      if (seen.count(flag) > 0) {
-        return Status::InvalidArgument(
-            std::string(flag) + " requires a relocating strategy "
-            "(--strategy=relocation-only|lazy-disk|active-disk), got "
-            "--strategy=" +
-            StrategyName(config.strategy));
-      }
-    }
-  }
-  if (config.strategy != AdaptationStrategy::kActiveDisk &&
-      seen.count("--lambda") > 0) {
-    return Status::InvalidArgument(
-        "--lambda requires --strategy=active-disk, got --strategy=" +
-        std::string(StrategyName(config.strategy)));
-  }
   config.workload.classes = {PartitionClass{join_rate, tuple_range}};
+
+  // All range and strategy-consistency validation lives in
+  // ClusterConfig::Builder::Validate(); hand it the set of explicitly
+  // given flags so consistency checks fire only for those.
+  ClusterConfig::Builder builder(std::move(config));
+  for (const std::string& flag : seen) builder.MarkSet(flag);
+  DCAPE_ASSIGN_OR_RETURN(options.cluster, builder.Build());
   return options;
 }
 
@@ -340,6 +293,12 @@ output:
                          (also PATH-derived .storage.csv counters)
   --record-trace=PATH    record the generated input as a trace
   --replay-trace=PATH    replay a recorded trace instead
+  --trace                structured adaptation trace (obs/trace.h)
+  --trace-verbose        also trace per-batch data-plane events
+  --trace-out=PATH       write the trace as Chrome trace_event JSON
+                         (open in Perfetto; implies --trace)
+  --report=timeline      print the adaptation timeline after the
+                         summary (implies --trace)
   --quiet                summary only, no tables
   --verbose              narrate adaptations
 )";

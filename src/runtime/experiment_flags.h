@@ -18,6 +18,13 @@ struct ExperimentOptions {
   std::string record_trace_path;
   /// Replay input from this trace file instead of generating.
   std::string replay_trace_path;
+  /// Write the structured adaptation trace as Chrome trace_event JSON
+  /// (implies cluster.trace).
+  std::string trace_out_path;
+  /// Extra report to print after the summary ("timeline" renders the
+  /// adaptation timeline from the structured trace; implies
+  /// cluster.trace).
+  std::string report;
   /// Narrate adaptations (kInfo logging).
   bool verbose = false;
   /// Print the throughput/memory tables (summary always prints).
@@ -48,6 +55,9 @@ struct ExperimentOptions {
 ///   --fluctuation             --phase-min=N [5]  --hot-mult=F [10]
 ///   --segment-format=v1|v2 [v2]  --file-backend  --async-io
 ///   --csv=PATH  --record-trace=PATH  --replay-trace=PATH
+///   --trace (structured adaptation trace)  --trace-verbose
+///   --trace-out=PATH (Chrome trace_event JSON; implies --trace)
+///   --report=timeline (adaptation timeline; implies --trace)
 ///   --quiet (no tables)       --verbose (narrate adaptations)
 [[nodiscard]] StatusOr<ExperimentOptions> ParseExperimentFlags(
     const std::vector<std::string>& args);

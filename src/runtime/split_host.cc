@@ -99,6 +99,14 @@ void SplitHost::OnMessage(Tick now, const Message& message) {
             std::to_string(pause.relocation_id));
       }
       for (auto& [stream, split] : splits_) split->Pause(pause.partitions);
+      if (DCAPE_TRACE_ACTIVE(config_.tracer)) {
+        config_.tracer->EmitInstant(
+            static_cast<int>(config_.node_id), now, obs::ev::kRelocPauseSplit,
+            {obs::TraceArg::Int(
+                "partitions",
+                static_cast<int64_t>(pause.partitions.size()))},
+            pause.relocation_id);
+      }
 
       // Drain marker rides the tuple link to the old owner; FIFO delivery
       // guarantees every pre-pause tuple precedes it.
@@ -140,6 +148,14 @@ void SplitHost::OnMessage(Tick now, const Message& message) {
             update.partitions, update.new_owner);
         released.insert(released.end(), std::make_move_iterator(r.begin()),
                         std::make_move_iterator(r.end()));
+      }
+      if (DCAPE_TRACE_ACTIVE(config_.tracer)) {
+        config_.tracer->EmitInstant(
+            static_cast<int>(config_.node_id), now, obs::ev::kRelocFlushSplit,
+            {obs::TraceArg::Int("buffered",
+                                static_cast<int64_t>(released.size())),
+             obs::TraceArg::Int("new_owner", update.new_owner)},
+            update.relocation_id);
       }
       if (!released.empty()) {
         DCAPE_LOG(kDebug) << "split host " << config_.node_id << " flushing "

@@ -12,6 +12,7 @@
 #include "common/virtual_clock.h"
 #include "net/message.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "operators/select.h"
 #include "operators/split.h"
 
@@ -40,6 +41,9 @@ struct SplitHostConfig {
   /// pauses, routing updates for unknown relocations, partitions left
   /// paused after release, buffered tuples leaked outside a relocation.
   sim::InvariantRecorder* invariants = nullptr;
+  /// Structured tracer (unowned; null = tracing disabled). The host
+  /// emits pause/flush instants on lane `node_id`.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// A node hosting split operators for a subset of the input streams.

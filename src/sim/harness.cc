@@ -140,6 +140,9 @@ TrialOutcome RunTrial(const TrialOptions& options) {
   ClusterConfig chaos_config = scenario.config;
   chaos_config.fault_plan = plan;
   chaos_config.invariants = recorder;
+  // Structured tracing doubles as an invariant source: the span-balance
+  // check below needs the relocation protocol spans.
+  chaos_config.trace = true;
 
   RunResult chaos;
   {
@@ -199,6 +202,12 @@ TrialOutcome RunTrial(const TrialOptions& options) {
           std::to_string(cc.relocations_started) + " completed=" +
           std::to_string(cc.relocations_completed) + " aborted=" +
           std::to_string(cc.relocations_aborted));
+    }
+    // Span-balance invariant: every relocation-protocol span that opened
+    // in the structured trace must have closed by quiescence — under any
+    // injected fault mix. An unclosed span is a stuck protocol phase.
+    for (const std::string& line : cluster.tracer()->OpenSpans()) {
+      recorder->Report("trace span balance: " + line);
     }
   }
 

@@ -8,11 +8,21 @@
 namespace dcape {
 
 SpillStore::SpillStore(EngineId engine, const Config& config,
-                       std::unique_ptr<DiskBackend> backend, IoExecutor* io)
+                       std::unique_ptr<DiskBackend> backend, IoExecutor* io,
+                       obs::MetricsRegistry* metrics)
     : engine_(engine), config_(config), backend_(std::move(backend)), io_(io) {
   DCAPE_CHECK(backend_ != nullptr);
   DCAPE_CHECK_GT(config_.write_bytes_per_tick, 0);
   DCAPE_CHECK_GT(config_.read_bytes_per_tick, 0);
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  const int entity = static_cast<int>(engine_);
+  encoded_bytes_ = metrics->AddCounter(obs::m::kEncodedBytes, entity);
+  raw_bytes_ = metrics->AddCounter(obs::m::kRawBytes, entity);
+  resident_bytes_ = metrics->AddGauge(obs::m::kResidentBytes, entity);
+  segments_written_ = metrics->AddCounter(obs::m::kSegmentsWritten, entity);
 }
 
 SpillStore::~SpillStore() {
@@ -76,9 +86,10 @@ StatusOr<Tick> SpillStore::WriteSegment(PartitionId partition, Tick now,
     DCAPE_RETURN_IF_ERROR(backend_->Write(meta.object_name, blob));
   }
 
-  total_spilled_bytes_ += meta.bytes;
-  total_raw_bytes_ += meta.raw_bytes;
-  resident_bytes_ += meta.bytes;
+  encoded_bytes_->Add(meta.bytes);
+  raw_bytes_->Add(meta.raw_bytes);
+  resident_bytes_->Add(meta.bytes);
+  segments_written_->Increment();
   segments_.push_back(meta);
 
   const Tick io_ticks =
@@ -99,7 +110,7 @@ Status SpillStore::RemoveSegment(int64_t segment_id) {
   }
   DCAPE_RETURN_IF_ERROR(Barrier());
   DCAPE_RETURN_IF_ERROR(backend_->Remove(it->object_name));
-  resident_bytes_ -= it->bytes;
+  resident_bytes_->Add(-it->bytes);
   segments_.erase(it);
   return Status::OK();
 }

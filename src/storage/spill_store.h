@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/virtual_clock.h"
+#include "obs/metrics.h"
 #include "storage/disk_backend.h"
 #include "storage/io_executor.h"
 
@@ -67,9 +68,13 @@ class SpillStore {
   };
 
   /// `io` (optional, unowned, may be shared across stores) makes backend
-  /// writes asynchronous; it must outlive the store.
+  /// writes asynchronous; it must outlive the store. `metrics` (optional,
+  /// unowned) is the cluster's unified registry; the store registers its
+  /// storage.* cells there, or in a private registry when null
+  /// (standalone use in tests).
   SpillStore(EngineId engine, const Config& config,
-             std::unique_ptr<DiskBackend> backend, IoExecutor* io = nullptr);
+             std::unique_ptr<DiskBackend> backend, IoExecutor* io = nullptr,
+             obs::MetricsRegistry* metrics = nullptr);
   ~SpillStore();
 
   SpillStore(const SpillStore&) = delete;
@@ -105,18 +110,18 @@ class SpillStore {
   const std::vector<SpillSegmentMeta>& segments() const { return segments_; }
 
   /// Cumulative serialized bytes spilled (never decreases).
-  int64_t total_spilled_bytes() const { return total_spilled_bytes_; }
+  int64_t total_spilled_bytes() const { return encoded_bytes_->value(); }
   /// Cumulative raw (v1-equivalent) bytes of everything spilled; the
   /// v2 size win is total_spilled_bytes() / total_raw_bytes().
-  int64_t total_raw_bytes() const { return total_raw_bytes_; }
+  int64_t total_raw_bytes() const { return raw_bytes_->value(); }
   /// Bytes currently resident on disk (decreases on RemoveSegment).
-  int64_t resident_bytes() const { return resident_bytes_; }
+  int64_t resident_bytes() const { return resident_bytes_->value(); }
   /// Number of segments currently resident (decreases on RemoveSegment).
   int64_t segment_count() const {
     return static_cast<int64_t>(segments_.size());
   }
   /// Cumulative WriteSegment calls (never decreases).
-  int64_t segments_written() const { return next_segment_id_; }
+  int64_t segments_written() const { return segments_written_->value(); }
 
   EngineId engine() const { return engine_; }
   const Config& config() const { return config_; }
@@ -138,9 +143,16 @@ class SpillStore {
   Status async_error_ GUARDED_BY(async_mu_) = Status::OK();
   std::vector<SpillSegmentMeta> segments_;
   int64_t next_segment_id_ = 0;
-  int64_t total_spilled_bytes_ = 0;
-  int64_t total_raw_bytes_ = 0;
-  int64_t resident_bytes_ = 0;
+  /// Private registry used only when the caller did not supply one;
+  /// declared before the cell pointers that may point into it.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  /// storage.* cells (owned by the registry): cumulative encoded and raw
+  /// bytes written, bytes currently resident, cumulative segments
+  /// written.
+  obs::Counter* encoded_bytes_;
+  obs::Counter* raw_bytes_;
+  obs::Gauge* resident_bytes_;
+  obs::Counter* segments_written_;
 };
 
 }  // namespace dcape

@@ -74,5 +74,117 @@ TEST(StrategyTest, NamesAndCapabilities) {
   EXPECT_TRUE(StrategyRelocates(AdaptationStrategy::kActiveDisk));
 }
 
+TEST(ClusterConfigBuilderTest, DefaultsValidate) {
+  StatusOr<ClusterConfig> built = ClusterConfig::Builder().Build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->num_engines, 2);
+  EXPECT_EQ(built->strategy, AdaptationStrategy::kNoAdaptation);
+}
+
+TEST(ClusterConfigBuilderTest, SettersFlowIntoTheConfig) {
+  StatusOr<ClusterConfig> built = ClusterConfig::Builder()
+                                      .SetStrategy(AdaptationStrategy::kLazyDisk)
+                                      .SetNumEngines(4)
+                                      .SetNumThreads(3)
+                                      .SetSeed(99)
+                                      .SetThetaR(0.6)
+                                      .Build();
+  ASSERT_TRUE(built.ok()) << built.status();
+  EXPECT_EQ(built->num_engines, 4);
+  EXPECT_EQ(built->num_threads, 3);
+  EXPECT_EQ(built->seed, 99u);
+  EXPECT_EQ(built->workload.seed, 99u);
+  EXPECT_DOUBLE_EQ(built->relocation.theta_r, 0.6);
+}
+
+TEST(ClusterConfigBuilderTest, RangeChecksCatchBadValues) {
+  EXPECT_FALSE(ClusterConfig::Builder().SetNumEngines(0).Build().ok());
+  EXPECT_FALSE(ClusterConfig::Builder().SetNumEngines(65).Build().ok());
+  EXPECT_FALSE(ClusterConfig::Builder().SetNumThreads(0).Build().ok());
+  EXPECT_FALSE(ClusterConfig::Builder().SetNumStreams(1).Build().ok());
+  EXPECT_FALSE(ClusterConfig::Builder()
+                   .SetStrategy(AdaptationStrategy::kLazyDisk)
+                   .SetSpillFraction(1.5)
+                   .Build()
+                   .ok());
+  Status status =
+      ClusterConfig::Builder().SetNumEngines(0).Validate();
+  EXPECT_NE(status.message().find("--engines"), std::string::npos);
+}
+
+TEST(ClusterConfigBuilderTest, StrategyConsistencyOnlyForExplicitFields) {
+  // theta_r has a (valid) default; not setting it keeps all-mem fine.
+  EXPECT_TRUE(ClusterConfig::Builder().Build().ok());
+  // Explicitly tuning relocation under a non-relocating strategy fails.
+  StatusOr<ClusterConfig> built =
+      ClusterConfig::Builder().SetThetaR(0.5).Build();
+  ASSERT_FALSE(built.ok());
+  EXPECT_NE(built.status().message().find("--theta"), std::string::npos);
+  EXPECT_NE(built.status().message().find("relocating strategy"),
+            std::string::npos);
+  // The same value under a relocating strategy is fine.
+  EXPECT_TRUE(ClusterConfig::Builder()
+                  .SetStrategy(AdaptationStrategy::kRelocationOnly)
+                  .SetThetaR(0.5)
+                  .Build()
+                  .ok());
+}
+
+TEST(ClusterConfigBuilderTest, LambdaRequiresActiveDisk) {
+  EXPECT_FALSE(ClusterConfig::Builder()
+                   .SetStrategy(AdaptationStrategy::kLazyDisk)
+                   .SetLambda(3.0)
+                   .Build()
+                   .ok());
+  EXPECT_TRUE(ClusterConfig::Builder()
+                  .SetStrategy(AdaptationStrategy::kActiveDisk)
+                  .SetLambda(3.0)
+                  .Build()
+                  .ok());
+}
+
+TEST(ClusterConfigBuilderTest, AggregateBaseCountsAsDefaults) {
+  // Fields of a base aggregate are not "explicitly set": a conflicting
+  // theta in the base does not trip the consistency check…
+  ClusterConfig base;
+  base.relocation.theta_r = 0.5;
+  EXPECT_TRUE(ClusterConfig::Builder(base).Build().ok());
+  // …but MarkSet turns the same config into an error.
+  EXPECT_FALSE(
+      ClusterConfig::Builder(base).MarkSet("--theta").Build().ok());
+}
+
+TEST(ClusterConfigBuilderTest, TraceVerboseRequiresTrace) {
+  EXPECT_FALSE(ClusterConfig::Builder().SetTraceVerbose(true).Build().ok());
+  StatusOr<ClusterConfig> built = ClusterConfig::Builder()
+                                      .SetTrace(true)
+                                      .SetTraceVerbose(true)
+                                      .Build();
+  ASSERT_TRUE(built.ok());
+  EXPECT_TRUE(built->trace);
+  EXPECT_TRUE(built->trace_verbose);
+}
+
+TEST(ClusterConfigBuilderTest, PlacementMustMatchEngineCount) {
+  EXPECT_FALSE(ClusterConfig::Builder()
+                   .SetNumEngines(2)
+                   .SetPlacementFractions({0.5, 0.3, 0.2})
+                   .Build()
+                   .ok());
+  EXPECT_TRUE(ClusterConfig::Builder()
+                  .SetNumEngines(3)
+                  .SetPlacementFractions({0.5, 0.3, 0.2})
+                  .Build()
+                  .ok());
+}
+
+TEST(ClusterConfigBuilderTest, MutableConfigEscapeHatchStillRangeChecked) {
+  ClusterConfig::Builder builder;
+  builder.mutable_config().workload.inter_arrival_ticks = 0;
+  Status status = builder.Validate();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("--inter-arrival-ms"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dcape

@@ -1,0 +1,17 @@
+// Fixture: trace-event and metric names must be registered taxonomy
+// constants from src/obs/taxonomy.h, never ad-hoc strings — stable name
+// identities are what make traces diffable and schema-checkable.
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dcape {
+
+void EmitAdHocEventName(obs::Tracer* tracer) {
+  tracer->EmitInstant(0, 1, "engine.custom_event");
+}
+
+void RegisterAdHocMetricName(obs::MetricsRegistry* registry) {
+  registry->AddCounter("engine.custom_metric", 0);
+}
+
+}  // namespace dcape

@@ -1,0 +1,100 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/taxonomy.h"
+
+namespace dcape {
+namespace obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterCellsAccumulate) {
+  MetricsRegistry registry;
+  Counter* spills = registry.AddCounter(m::kSpillEvents, /*entity=*/0);
+  spills->Increment();
+  spills->Add(2);
+  EXPECT_EQ(spills->value(), 3);
+  EXPECT_EQ(registry.Value(m::kSpillEvents, 0), 3);
+}
+
+TEST(MetricsRegistryTest, GaugeCellsGoUpAndDown) {
+  MetricsRegistry registry;
+  Gauge* resident = registry.AddGauge(m::kResidentBytes, /*entity=*/1);
+  resident->Add(100);
+  resident->Add(-40);
+  EXPECT_EQ(resident->value(), 60);
+  resident->Set(5);
+  EXPECT_EQ(registry.Value(m::kResidentBytes, 1), 5);
+}
+
+TEST(MetricsRegistryTest, EntityAndIndexAreDistinctDimensions) {
+  MetricsRegistry registry;
+  Counter* e0s0 = registry.AddCounter(m::kTuplesPerStream, 0, 0);
+  Counter* e0s1 = registry.AddCounter(m::kTuplesPerStream, 0, 1);
+  Counter* e1s0 = registry.AddCounter(m::kTuplesPerStream, 1, 0);
+  e0s0->Add(1);
+  e0s1->Add(2);
+  e1s0->Add(4);
+  EXPECT_EQ(registry.Value(m::kTuplesPerStream, 0, 0), 1);
+  EXPECT_EQ(registry.Value(m::kTuplesPerStream, 0, 1), 2);
+  EXPECT_EQ(registry.Value(m::kTuplesPerStream, 1, 0), 4);
+}
+
+TEST(MetricsRegistryTest, ValueOfUnregisteredCellIsZero) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.Value(m::kSpillEvents, 9), 0);
+}
+
+TEST(MetricsRegistryTest, SnapshotPreservesRegistrationOrder) {
+  MetricsRegistry registry;
+  registry.AddCounter(m::kSpillEvents, 0)->Add(7);
+  registry.AddGauge(m::kResidentBytes, 0)->Set(11);
+  registry.AddCounter(m::kSpillEvents, 1)->Add(13);
+
+  std::vector<MetricsRegistry::Sample> samples = registry.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_STREQ(samples[0].name, m::kSpillEvents);
+  EXPECT_EQ(samples[0].entity, 0);
+  EXPECT_EQ(samples[0].value, 7);
+  EXPECT_STREQ(samples[1].name, m::kResidentBytes);
+  EXPECT_EQ(samples[1].value, 11);
+  EXPECT_EQ(samples[2].entity, 1);
+  EXPECT_EQ(samples[2].value, 13);
+}
+
+TEST(MetricsRegistryTest, CellPointersSurviveLaterRegistrations) {
+  MetricsRegistry registry;
+  Counter* first = registry.AddCounter(m::kTuplesProcessed, 0);
+  for (int e = 1; e < 100; ++e) {
+    registry.AddCounter(m::kTuplesProcessed, e);
+  }
+  first->Add(5);
+  EXPECT_EQ(registry.Value(m::kTuplesProcessed, 0), 5);
+  EXPECT_EQ(registry.size(), 100);
+}
+
+TEST(MetricsRegistryTest, CsvListsEveryCell) {
+  MetricsRegistry registry;
+  registry.AddCounter(m::kSpillEvents, 0)->Add(3);
+  registry.AddGauge(m::kResidentBytes, 1)->Set(9);
+  const std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("name,entity,index,value"), std::string::npos);
+  EXPECT_NE(csv.find("engine.spill_events,0,-1,3"), std::string::npos);
+  EXPECT_NE(csv.find("storage.resident_bytes,1,-1,9"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramsAreFindable) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.FindHistogram(m::kSpillIoTicks, 0), nullptr);
+  Histogram* h = registry.AddHistogram(m::kSpillIoTicks, 0);
+  h->Add(4);
+  const Histogram* found = registry.FindHistogram(m::kSpillIoTicks, 0);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->count(), 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dcape

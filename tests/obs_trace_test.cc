@@ -1,0 +1,152 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/report.h"
+#include "obs/taxonomy.h"
+
+namespace dcape {
+namespace obs {
+namespace {
+
+TEST(TracerTest, MergeOrdersByTickThenLaneThenEmitOrder) {
+  Tracer tracer(3);
+  tracer.EmitInstant(2, 10, ev::kRelocDecide);
+  tracer.EmitInstant(0, 10, ev::kRelocDecide);
+  tracer.EmitInstant(1, 5, ev::kRelocDecide);
+  tracer.EmitInstant(0, 10, ev::kRelocAbort);  // same (tick, lane): emit order
+
+  std::vector<const TraceEvent*> merged = tracer.Merged();
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0]->tick, 5);
+  EXPECT_EQ(merged[0]->lane, 1);
+  EXPECT_EQ(merged[1]->lane, 0);
+  EXPECT_STREQ(merged[1]->name, ev::kRelocDecide);
+  EXPECT_STREQ(merged[2]->name, ev::kRelocAbort);
+  EXPECT_EQ(merged[3]->lane, 2);
+}
+
+TEST(TracerTest, EventCountSumsAllLanes) {
+  Tracer tracer(2);
+  EXPECT_EQ(tracer.event_count(), 0);
+  tracer.EmitInstant(0, 1, ev::kSpill);
+  tracer.EmitCounter(1, 1, ev::kStateBytes, 42);
+  EXPECT_EQ(tracer.event_count(), 2);
+}
+
+TEST(TracerTest, ChromeJsonContainsPhasesAndLaneNames) {
+  Tracer tracer(2);
+  tracer.SetLaneName(0, "engine 0");
+  tracer.SetLaneName(1, "coordinator");
+  tracer.BeginSpan(1, 3, ev::kRelocation, /*scope=*/7,
+                   {TraceArg::Int("sender", 1)});
+  tracer.EmitComplete(0, 4, ev::kSpill, /*duration=*/2,
+                      {TraceArg::Int("bytes", 100)});
+  tracer.EmitCounter(0, 5, ev::kStateBytes, 1234);
+  tracer.EndSpan(1, 6, ev::kRelocation, /*scope=*/7);
+
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"coordinator\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"0x7\""), std::string::npos);
+  // Virtual ms map to trace µs.
+  EXPECT_NE(json.find("\"ts\":4000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2000"), std::string::npos);
+}
+
+TEST(TracerTest, OpenSpansEmptyWhenBalanced) {
+  Tracer tracer(1);
+  tracer.BeginSpan(0, 1, ev::kRelocation, 1);
+  tracer.BeginSpan(0, 1, ev::kRelocPhaseCompute, 1);
+  tracer.EndSpan(0, 2, ev::kRelocPhaseCompute, 1);
+  tracer.EndSpan(0, 2, ev::kRelocation, 1);
+  EXPECT_TRUE(tracer.OpenSpans().empty());
+}
+
+TEST(TracerTest, OpenSpansReportsUnclosedAndUnopened) {
+  Tracer tracer(1);
+  tracer.BeginSpan(0, 1, ev::kRelocation, 1);
+  tracer.EndSpan(0, 2, ev::kRelocPhasePause, 9);
+  std::vector<std::string> open = tracer.OpenSpans();
+  ASSERT_EQ(open.size(), 2u);
+  EXPECT_NE(open[0].find("relocation"), std::string::npos);
+  EXPECT_NE(open[1].find("unopened"), std::string::npos);
+}
+
+TEST(TracerTest, IdenticalEmissionYieldsIdenticalJson) {
+  auto build = [] {
+    Tracer tracer(2);
+    tracer.SetLaneName(0, "engine 0");
+    tracer.BeginSpan(1, 1, ev::kRelocation, 3,
+                     {TraceArg::Double("ratio", 0.25)});
+    tracer.EmitComplete(0, 2, ev::kEvict, 1);
+    tracer.EndSpan(1, 4, ev::kRelocation, 3);
+    return tracer.ToChromeJson();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(TaxonomyTest, RegisteredNamesAreUniqueAndWellFormed) {
+  for (size_t i = 0; i < kNumEventNames; ++i) {
+    const std::string name = kAllEventNames[i];
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(name.find_first_not_of("abcdefghijklmnopqrstuvwxyz._"),
+              std::string::npos)
+        << name;
+    for (size_t j = i + 1; j < kNumEventNames; ++j) {
+      EXPECT_STRNE(kAllEventNames[i], kAllEventNames[j]);
+    }
+  }
+}
+
+TEST(TimelineReportTest, RendersAdaptationLinesAndSummary) {
+  Tracer tracer(2);
+  tracer.SetLaneName(0, "engine 0");
+  tracer.SetLaneName(1, "coordinator");
+  tracer.EmitInstant(1, 10, ev::kRelocDecide,
+                     {TraceArg::Int("max_engine", 0),
+                      TraceArg::Double("ratio", 0.4)});
+  tracer.BeginSpan(1, 10, ev::kRelocation, 1,
+                   {TraceArg::Int("sender", 0), TraceArg::Int("receiver", 1)});
+  tracer.EndSpan(1, 20010, ev::kRelocation, 1);  // 20000 virtual ms later
+  tracer.EmitComplete(0, 15, ev::kSpill, 5,
+                      {TraceArg::Int("bytes", 2048),
+                       TraceArg::Int("forced", 1)});
+
+  const std::string timeline = RenderTimeline(tracer);
+  EXPECT_NE(timeline.find("relocation.decide"), std::string::npos);
+  EXPECT_NE(timeline.find("ratio=0.4"), std::string::npos);
+  EXPECT_NE(timeline.find("relocation begin #1"), std::string::npos);
+  EXPECT_NE(timeline.find("(20.0s)"), std::string::npos);  // span duration
+  EXPECT_NE(timeline.find("engine.spill"), std::string::npos);
+  EXPECT_NE(timeline.find("1 relocations (1 completed, 0 aborted)"),
+            std::string::npos);
+  EXPECT_NE(timeline.find("1 spills (1 forced"), std::string::npos);
+}
+
+TEST(TimelineReportTest, AbortedRelocationIsNotCountedCompleted) {
+  Tracer tracer(1);
+  tracer.BeginSpan(0, 1, ev::kRelocation, 2);
+  tracer.EmitInstant(0, 5, ev::kRelocAbort, {}, 2);
+  tracer.EndSpan(0, 5, ev::kRelocation, 2);
+  const std::string timeline = RenderTimeline(tracer);
+  EXPECT_NE(timeline.find("1 relocations (0 completed, 1 aborted)"),
+            std::string::npos);
+}
+
+TEST(TimelineReportTest, EmptyTraceSaysSo) {
+  Tracer tracer(1);
+  EXPECT_NE(RenderTimeline(tracer).find("(no adaptation events)"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dcape

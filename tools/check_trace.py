@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""check_trace — schema checker for DCAPE's exported structured traces.
+
+Validates a `dcape_run --trace-out=FILE` Chrome trace_event JSON file
+against the registered event taxonomy (src/obs/taxonomy.h):
+
+  * the file is valid JSON of the {"traceEvents": [...]} form;
+  * every event carries name/ph/pid/tid/ts with the right types;
+  * every phase code is one the exporter emits (M, i, X, b, e, C);
+  * every non-metadata event name is a registered `obs::ev::k*`
+    taxonomy constant — the header is parsed, so adding a name there is
+    the single step that teaches every tool about it;
+  * complete events ("X") carry a non-negative `dur`;
+  * async spans ("b"/"e") carry the `dcape` category and an id, and
+    every span that opens also closes (balance per (name, id, pid));
+  * timestamps are non-negative and, per (pid, tid) lane, the merged
+    stream is time-ordered — the determinism contract's merge key.
+
+Usage:
+  check_trace.py TRACE.json [TRACE2.json ...]
+                 [--taxonomy=src/obs/taxonomy.h] [--quiet]
+
+Exit status: 0 clean, 1 findings, 2 bad flags/unreadable input —
+mirroring dcape_lint.
+"""
+
+import json
+import os
+import re
+import sys
+
+VALID_PHASES = {"M", "i", "X", "b", "e", "C"}
+
+_NAME_CONST_RE = re.compile(
+    r'inline\s+constexpr\s+char\s+k\w+\[\]\s*=\s*"([^"]+)"')
+_NAMESPACE_RE = re.compile(r"namespace\s+(\w+)\s*\{")
+
+
+def registered_names(taxonomy_path):
+    """Event names (namespace ev) and metric names (namespace m) from
+    taxonomy.h."""
+    with open(taxonomy_path, encoding="utf-8") as f:
+        text = f.read()
+    names = {"ev": set(), "m": set()}
+    current = None
+    for line in text.split("\n"):
+        ns = _NAMESPACE_RE.search(line)
+        if ns and ns.group(1) in names:
+            current = ns.group(1)
+        elif re.search(r"\}\s*//\s*namespace\s+(ev|m)\b", line):
+            current = None
+        m = _NAME_CONST_RE.search(line)
+        if m and current is not None:
+            names[current].add(m.group(1))
+    return names
+
+
+def check_trace(path, event_names, findings):
+    def bad(i, msg):
+        findings.append(f"{path}: event {i}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        findings.append(f"{path}: not readable JSON: {e}")
+        return
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        findings.append(f"{path}: missing top-level traceEvents array")
+        return
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        findings.append(f"{path}: traceEvents is not an array")
+        return
+
+    span_balance = {}
+    last_ts = {}
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            bad(i, "not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            if key not in e and not (key == "ts" and e.get("ph") == "M"):
+                bad(i, f"missing required key '{key}'")
+        ph = e.get("ph")
+        if ph not in VALID_PHASES:
+            bad(i, f"unknown phase code {ph!r}")
+            continue
+        if ph == "M":
+            continue  # metadata (process_name)
+        name = e.get("name")
+        if name not in event_names:
+            bad(i, f"name {name!r} is not a registered taxonomy constant "
+                   "(add it to src/obs/taxonomy.h)")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            bad(i, f"bad timestamp {ts!r}")
+            continue
+        lane = (e.get("pid"), e.get("tid"))
+        if ts < last_ts.get(lane, 0):
+            bad(i, f"timestamp {ts} goes backwards on lane {lane}: the "
+                   "merged stream must be time-ordered per lane")
+        last_ts[lane] = ts
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                bad(i, f"complete event needs non-negative dur, got "
+                       f"{dur!r}")
+        if ph in ("b", "e"):
+            if e.get("cat") != "dcape":
+                bad(i, f"async span needs cat='dcape', got {e.get('cat')!r}")
+            if "id" not in e:
+                bad(i, "async span needs an id")
+            key = (name, e.get("id"), e.get("pid"))
+            span_balance[key] = span_balance.get(key, 0) + \
+                (1 if ph == "b" else -1)
+
+    for (name, span_id, pid), balance in sorted(
+            span_balance.items(), key=lambda kv: str(kv[0])):
+        if balance != 0:
+            what = "never closed" if balance > 0 else "closed but never opened"
+            findings.append(
+                f"{path}: span {name} id={span_id} pid={pid} {what} "
+                f"(balance {balance:+d})")
+
+
+def main(argv):
+    root = os.path.realpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), ".."))
+    taxonomy = os.path.join(root, "src", "obs", "taxonomy.h")
+    quiet = False
+    paths = []
+    for arg in argv:
+        if arg.startswith("--taxonomy="):
+            taxonomy = arg.split("=", 1)[1]
+        elif arg == "--quiet":
+            quiet = True
+        elif arg in ("--help", "-h"):
+            print(__doc__)
+            return 0
+        elif arg.startswith("--"):
+            print(f"unknown flag '{arg}' (see --help)", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not paths:
+        print("usage: check_trace.py TRACE.json [...]", file=sys.stderr)
+        return 2
+    try:
+        names = registered_names(taxonomy)
+    except OSError as e:
+        print(f"cannot read taxonomy {taxonomy}: {e}", file=sys.stderr)
+        return 2
+    if not names["ev"]:
+        print(f"no event names parsed from {taxonomy}", file=sys.stderr)
+        return 2
+
+    findings = []
+    counts = {}
+    for path in paths:
+        before = len(findings)
+        check_trace(path, names["ev"], findings)
+        counts[path] = len(findings) - before
+    for f in findings:
+        print(f)
+    if not quiet:
+        for path in paths:
+            status = "FAIL" if counts[path] else "ok"
+            print(f"{status:4s} {path}")
+        print(f"check_trace: {len(paths)} files, {len(findings)} findings "
+              f"({len(names['ev'])} registered event names)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

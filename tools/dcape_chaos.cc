@@ -21,7 +21,7 @@
 #include <string_view>
 #include <vector>
 
-#include "common/logging.h"
+#include "dcape.h"
 #include "sim/harness.h"
 
 namespace dcape {

@@ -22,6 +22,13 @@ Encodes invariants no generic tool knows about this codebase:
   statusor-unchecked  A local StatusOr must be checked (.ok() /
                       .status()) before it is dereferenced with *, ->,
                       or .value().
+  trace-name          Every tracer Emit*/BeginSpan/EndSpan and registry
+                      AddCounter/AddGauge/AddHistogram call must name
+                      its event/metric with a registered taxonomy
+                      constant (obs::ev::k* / obs::m::k*, see
+                      src/obs/taxonomy.h) — never a string literal or a
+                      built-up string. Stable name identities are what
+                      make traces diffable and schema-checkable.
 
 Usage:
   dcape_lint.py [--root=DIR] [--check=NAME] [--list] [--selftest]
@@ -604,12 +611,81 @@ def check_statusor_unchecked(sources, relpath):
     return findings
 
 
+# Tracer / registry calls whose name argument (0-based position) must be
+# a taxonomy constant. Emit(TraceEvent) builds the struct directly and is
+# only used inside src/obs/, which is exempt (it forwards caller names).
+_TRACE_NAME_ARG_POS = {
+    "EmitInstant": 2,
+    "EmitComplete": 2,
+    "BeginSpan": 2,
+    "EndSpan": 2,
+    "EmitCounter": 2,
+    "AddCounter": 0,
+    "AddGauge": 0,
+    "AddHistogram": 0,
+}
+_TRACE_CALL_RE = re.compile(
+    r"\b(" + "|".join(_TRACE_NAME_ARG_POS) + r")\s*\("
+)
+_TRACE_NAME_OK_RE = re.compile(r"^\s*(?:obs::)?(?:ev|m)::k\w+\s*$")
+
+
+def split_top_level_args(text):
+    """Splits an argument list on commas at bracket depth 0."""
+    args = []
+    depth = 0
+    start = 0
+    for i, c in enumerate(text):
+        if c in "({[":
+            depth += 1
+        elif c in ")}]":
+            depth -= 1
+        elif c == "," and depth == 0:
+            args.append(text[start:i])
+            start = i + 1
+    args.append(text[start:])
+    return args
+
+
+def check_trace_name(sources, relpath):
+    findings = []
+    for source in sources:
+        rel = relpath(source.path)
+        if rel.startswith("src/obs/"):
+            continue  # the implementation layer forwards caller names
+        text = source.clean
+        for m in _TRACE_CALL_RE.finditer(text):
+            callee = m.group(1)
+            close = matching_paren(text, m.end() - 1)
+            args = split_top_level_args(text[m.end():close])
+            pos = _TRACE_NAME_ARG_POS[callee]
+            if len(args) <= pos:
+                continue  # a declaration or an unrelated overload
+            name_arg = args[pos]
+            if _TRACE_NAME_OK_RE.match(name_arg):
+                continue
+            # Declarations name the parameter's type, not a value.
+            if re.search(r"\bconst\s+char\s*\*", name_arg):
+                continue
+            line = source.line_of_offset(m.start())
+            if suppressed(source, line, "trace-name"):
+                continue
+            findings.append(Finding(
+                "trace-name", rel, line,
+                f"{callee} name argument '{name_arg.strip()}' is not a "
+                "registered taxonomy constant (obs::ev::k*/obs::m::k*): "
+                "add the name to src/obs/taxonomy.h and pass the "
+                "constant"))
+    return findings
+
+
 CHECKS = {
     "wall-clock": check_wall_clock,
     "unordered-net": check_unordered_net,
     "ptr-key-ordered": check_ptr_key_ordered,
     "phase-switch": check_phase_switch,
     "statusor-unchecked": check_statusor_unchecked,
+    "trace-name": check_trace_name,
 }
 
 

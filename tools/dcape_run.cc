@@ -6,17 +6,16 @@
 //   dcape_run --strategy=active-disk --verbose --csv=run.csv
 //   dcape_run --record-trace=day.trace --duration-min=5
 //   dcape_run --replay-trace=day.trace --strategy=spill-only
+//   dcape_run --strategy=active-disk --trace-out=run.trace.json
+//   dcape_run --strategy=lazy-disk --report=timeline
 
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "common/logging.h"
+#include "dcape.h"
 #include "metrics/csv.h"
-#include "metrics/table_printer.h"
-#include "runtime/cluster.h"
-#include "runtime/experiment_flags.h"
 #include "stream/trace.h"
 
 namespace dcape {
@@ -101,6 +100,21 @@ int Run(const std::vector<std::string>& args) {
     }
     std::cout << "trace (" << options.cluster.record_trace->size()
               << " bytes) written to " << options.record_trace_path << "\n";
+  }
+  if (!options.trace_out_path.empty()) {
+    const obs::Tracer* tracer = cluster.tracer();
+    std::ofstream trace_out(options.trace_out_path);
+    trace_out << tracer->ToChromeJson();
+    if (!trace_out) {
+      std::cerr << "cannot write " << options.trace_out_path << "\n";
+      return 1;
+    }
+    std::cout << "structured trace (" << tracer->event_count()
+              << " events) written to " << options.trace_out_path
+              << " (open in Perfetto / chrome://tracing)\n";
+  }
+  if (options.report == "timeline") {
+    std::cout << obs::RenderTimeline(*cluster.tracer());
   }
   return 0;
 }
