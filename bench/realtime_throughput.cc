@@ -1,0 +1,169 @@
+// Realtime throughput benchmark: free-run the wall-clock driver
+// (rt::RealtimeDriver) and report sustained tuples/sec, end-to-end
+// latency percentiles, and backpressure pressure across a per-core
+// scaling sweep of engine-thread counts.
+//
+// Usage:
+//   realtime_throughput [--duration-sec=N] [--engines=a,b,c]
+//                       [--rate=N] [--out=PATH]
+//
+// Defaults: 3 s per point, engines 1,2,4,8, free-run (rate 0), JSON to
+// BENCH_realtime.json. The JSON schema is documented in
+// docs/REALTIME.md ("Benchmark output").
+
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rt/realtime_driver.h"
+#include "runtime/cluster_config.h"
+
+namespace dcape {
+namespace bench {
+namespace {
+
+/// A data-plane-bound workload: every virtual tick carries tuples (no
+/// empty cursor spins), the key space is sparse (state pressure without
+/// a result-count explosion), and partitions spread evenly over however
+/// many engines the sweep point runs.
+ClusterConfig BenchConfig(int num_engines) {
+  ClusterConfig config;
+  config.num_engines = num_engines;
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  config.workload.num_streams = 3;
+  config.workload.num_partitions = 60;
+  config.workload.inter_arrival_ticks = 1;
+  config.workload.payload_bytes = 64;
+  config.workload.classes = {PartitionClass{/*join_rate=*/1.0,
+                                            /*tuple_range=*/1000000}};
+  config.workload.seed = 42;
+  config.collect_results = false;
+  config.run_cleanup = false;
+  config.cleanup.collect_results = false;
+  return config;
+}
+
+struct SweepPoint {
+  int engine_threads = 0;
+  rt::RealtimeReport report;
+};
+
+std::string JsonReport(const std::vector<SweepPoint>& points,
+                       const rt::RealtimeOptions& options) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"benchmark\": \"realtime_throughput\",\n";
+  out << "  \"mode\": \"" << (options.rate > 0 ? "paced" : "free-run")
+      << "\",\n";
+  out << "  \"rate\": " << options.rate << ",\n";
+  out << "  \"duration_sec\": " << options.duration_sec << ",\n";
+  out << "  \"host_cores\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"sweep\": [\n";
+  const double base = points.empty() || points[0].report.tuples_per_sec <= 0
+                          ? 1.0
+                          : points[0].report.tuples_per_sec;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const rt::RealtimeReport& r = points[i].report;
+    out << "    {\"engine_threads\": " << points[i].engine_threads
+        << ", \"total_threads\": " << r.total_threads
+        << ", \"tuples_generated\": " << r.tuples_generated
+        << ", \"ticks_run\": " << r.ticks_run
+        << ", \"generate_wall_sec\": " << r.generate_wall_sec
+        << ", \"tuples_per_sec\": " << static_cast<int64_t>(r.tuples_per_sec)
+        << ", \"results_per_sec\": "
+        << static_cast<int64_t>(r.results_per_sec)
+        << ", \"scaling_vs_first\": " << r.tuples_per_sec / base
+        << ", \"backpressure_parks\": " << r.backpressure_parks
+        << ", \"latency_us\": {\"count\": " << r.latency_us.count()
+        << ", \"p50\": " << r.latency_us.Quantile(0.5)
+        << ", \"p90\": " << r.latency_us.Quantile(0.9)
+        << ", \"p99\": " << r.latency_us.Quantile(0.99)
+        << ", \"max\": " << r.latency_us.max() << "}}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+int Main(const std::vector<std::string>& args) {
+  rt::RealtimeOptions options;
+  options.duration_sec = 3;
+  std::vector<int> engine_counts = {1, 2, 4, 8};
+  std::string out_path = "BENCH_realtime.json";
+  for (const std::string& arg : args) {
+    const size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (key == "--duration-sec") {
+      options.duration_sec = std::stoi(value);
+    } else if (key == "--rate") {
+      options.rate = std::stoll(value);
+    } else if (key == "--out") {
+      out_path = value;
+    } else if (key == "--engines") {
+      engine_counts.clear();
+      std::istringstream list(value);
+      std::string item;
+      while (std::getline(list, item, ',')) {
+        engine_counts.push_back(std::stoi(item));
+      }
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::cout << "realtime throughput sweep: "
+            << (options.rate > 0
+                    ? std::to_string(options.rate) + " tuples/sec paced"
+                    : std::string("free-run"))
+            << ", " << options.duration_sec << "s per point, host cores: "
+            << std::thread::hardware_concurrency() << "\n\n";
+  std::cout << "engines | tuples/sec | results/sec | lat p50/p99 (us) | "
+               "parks | scaling\n";
+
+  std::vector<SweepPoint> points;
+  for (int engines : engine_counts) {
+    rt::RealtimeDriver driver(BenchConfig(engines), options);
+    driver.Run();
+    SweepPoint point;
+    point.engine_threads = engines;
+    point.report = driver.report();
+    points.push_back(point);
+    const rt::RealtimeReport& r = points.back().report;
+    const double base = points[0].report.tuples_per_sec > 0
+                            ? points[0].report.tuples_per_sec
+                            : 1.0;
+    std::cout << engines << " | " << static_cast<int64_t>(r.tuples_per_sec)
+              << " | " << static_cast<int64_t>(r.results_per_sec) << " | "
+              << r.latency_us.Quantile(0.5) << "/"
+              << r.latency_us.Quantile(0.99) << " | "
+              << r.backpressure_parks << " | " << r.tuples_per_sec / base
+              << "x\n";
+  }
+
+  const std::string json = JsonReport(points, options);
+  std::ofstream out(out_path);
+  out << json;
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwritten to " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dcape
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return dcape::bench::Main(args);
+}

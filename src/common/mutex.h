@@ -1,7 +1,9 @@
 #ifndef DCAPE_COMMON_MUTEX_H_
 #define DCAPE_COMMON_MUTEX_H_
 
+#include <chrono>  // dcape-lint: allow(wall-clock)
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "common/thread_annotations.h"
@@ -63,6 +65,18 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed wait; returns after a notification or after `micros`
+  /// microseconds, whichever comes first (true = notified). Only the
+  /// free-running realtime plane (src/rt/) uses this — virtual-clock
+  /// code has no business blocking on real time, which dcape-lint
+  /// enforces at the call sites; the implementation here is the one
+  /// sanctioned hole.
+  bool WaitFor(Mutex& mu, int64_t micros) REQUIRES(mu) {
+    return cv_.wait_for(mu, std::chrono::microseconds(micros)) ==  // dcape-lint: allow(wall-clock)
+           std::cv_status::no_timeout;
+  }
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -10,7 +10,7 @@
 namespace dcape {
 
 GlobalCoordinator::GlobalCoordinator(const CoordinatorConfig& config,
-                                     Network* network)
+                                     Transport* network)
     : config_(config),
       network_(network),
       owned_metrics_(config.metrics == nullptr

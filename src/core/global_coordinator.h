@@ -12,7 +12,7 @@
 #include "common/virtual_clock.h"
 #include "core/strategy.h"
 #include "net/message.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -78,7 +78,7 @@ class GlobalCoordinator {
     int64_t forced_spill_bytes = 0;
   };
 
-  GlobalCoordinator(const CoordinatorConfig& config, Network* network);
+  GlobalCoordinator(const CoordinatorConfig& config, Transport* network);
 
   GlobalCoordinator(const GlobalCoordinator&) = delete;
   GlobalCoordinator& operator=(const GlobalCoordinator&) = delete;
@@ -148,7 +148,7 @@ class GlobalCoordinator {
   int lane() const { return static_cast<int>(config_.node_id); }
 
   CoordinatorConfig config_;
-  Network* network_;
+  Transport* network_;
   /// Private registry when the config did not supply one; declared
   /// before the cells below, which point into it.
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;

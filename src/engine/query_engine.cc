@@ -12,7 +12,7 @@
 
 namespace dcape {
 
-QueryEngine::QueryEngine(const EngineConfig& config, Network* network,
+QueryEngine::QueryEngine(const EngineConfig& config, Transport* network,
                          const SpillStore::Config& disk_config,
                          std::unique_ptr<DiskBackend> disk_backend,
                          IoExecutor* io_executor)
@@ -252,6 +252,9 @@ void QueryEngine::ProcessBatch(Tick now, const TupleBatch& batch) {
     outputs_in_window_ += static_cast<int64_t>(results.size());
     ResultBatch out;
     out.results = std::move(results);
+    // Realtime runs measure end-to-end latency from the input batch's
+    // wall-clock emission stamp (0 in the simulator).
+    out.emit_wall_us = batch.emit_wall_us;
     network_->Send(
         MakeResultBatchMessage(config_.node_id, config_.sink_node,
                                std::move(out)),

@@ -16,7 +16,7 @@
 #include "core/local_controller.h"
 #include "core/strategy.h"
 #include "net/message.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "operators/mjoin.h"
@@ -126,7 +126,7 @@ class QueryEngine {
   /// `io_executor` (optional, unowned, shareable across engines) makes
   /// the spill store's backend writes asynchronous; it must outlive the
   /// engine. Virtual-time accounting is identical with or without it.
-  QueryEngine(const EngineConfig& config, Network* network,
+  QueryEngine(const EngineConfig& config, Transport* network,
               const SpillStore::Config& disk_config,
               std::unique_ptr<DiskBackend> disk_backend,
               IoExecutor* io_executor = nullptr);
@@ -206,7 +206,7 @@ class QueryEngine {
   int lane() const { return static_cast<int>(config_.node_id); }
 
   EngineConfig config_;
-  Network* network_;
+  Transport* network_;
   /// Private registry when the config did not supply one; declared (and
   /// therefore constructed) before spill_store_ and the cells below,
   /// which point into it.

@@ -156,6 +156,10 @@ struct SpillComplete {
 /// A batch of join results headed to the application server.
 struct ResultBatch {
   std::vector<JoinResult> results;
+  /// Wall-clock emission time of the input batch that produced these
+  /// results (see TupleBatch::emit_wall_us). 0 in the simulator and for
+  /// results whose input provenance is mixed (restore, cleanup).
+  int64_t emit_wall_us = 0;
 };
 
 /// Envelope for anything traveling on the simulated network.

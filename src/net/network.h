@@ -11,10 +11,12 @@
 #include "common/status.h"
 #include "common/virtual_clock.h"
 #include "net/message.h"
+#include "net/transport.h"
 
 namespace dcape {
 
-/// The simulated cluster interconnect.
+/// The simulated cluster interconnect (the Transport implementation the
+/// deterministic virtual-clock driver uses).
 ///
 /// Stands in for the paper's private gigabit Ethernet. Messages incur a
 /// fixed per-message latency plus a size-proportional transfer time
@@ -32,7 +34,7 @@ namespace dcape {
 /// all outboxes into the queue in (source node id, send order) order —
 /// the deterministic merge rule that makes a multi-threaded run
 /// bit-identical to the single-threaded one.
-class Network {
+class Network : public Transport {
  public:
   struct Config {
     /// Per-message propagation + protocol latency in ticks (virtual ms).
@@ -45,7 +47,7 @@ class Network {
   /// Per-message delivery callback; `now` is the delivery tick. The
   /// message is mutable so handlers on the data-plane hot path can move
   /// the payload out instead of copying it; it is dead after the call.
-  using Handler = std::function<void(Tick now, Message& message)>;
+  using Handler = Transport::Handler;
 
   /// Aggregate traffic statistics.
   struct Stats {
@@ -75,7 +77,7 @@ class Network {
   /// Registers the delivery handler for `node`. Must be called before any
   /// message addressed to `node` is delivered. Re-registering replaces the
   /// handler.
-  void RegisterNode(NodeId node, Handler handler);
+  void RegisterNode(NodeId node, Handler handler) override;
 
   /// Chaos hooks (sim/). `extra_delay` adds ticks to a message's arrival
   /// *before* the link-FIFO clamp — jitter is delay-only, so in-order
@@ -92,7 +94,7 @@ class Network {
   /// `to` must name a registered node by delivery time. In buffered mode
   /// the message parks in the outbox of `message.from` until
   /// FlushBuffered.
-  void Send(Message message, Tick now);
+  void Send(Message message, Tick now) override;
 
   /// Delivers every message whose arrival tick is <= `now`, in
   /// deterministic order. Handlers may send further messages; those are

@@ -120,6 +120,11 @@ inline constexpr char kEncodedBytes[] = "storage.encoded_bytes";
 inline constexpr char kRawBytes[] = "storage.raw_bytes";
 inline constexpr char kResidentBytes[] = "storage.resident_bytes";
 
+// Realtime plane (wall-clock driver only; absent from simulator runs).
+/// End-to-end result latency in microseconds: sink arrival wall time
+/// minus the emission stamp of the input batch that produced it.
+inline constexpr char kRtLatencyUs[] = "rt.latency_us";
+
 // Coordinator decisions (cluster-wide).
 inline constexpr char kRelocationsStarted[] = "coordinator.relocations_started";
 inline constexpr char kRelocationsCompleted[] =

@@ -1,0 +1,110 @@
+#ifndef DCAPE_RT_SPSC_QUEUE_H_
+#define DCAPE_RT_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dcape {
+namespace rt {
+
+/// Bounded lock-free single-producer/single-consumer ring buffer — the
+/// per-link queue of the realtime data plane.
+///
+/// Classic two-index design: the producer owns `tail_` (next write slot),
+/// the consumer owns `head_` (next read slot); each publishes its index
+/// with a release store and reads the other's with an acquire load, which
+/// is all the synchronization a SPSC ring needs. Both indices are
+/// monotonically increasing uint64s masked into the (power-of-two) slot
+/// array, so full/empty are unambiguous without wasting a slot.
+///
+/// Two single-writer cache optimizations keep the hot path to one atomic
+/// store per operation: each side caches its last view of the *other*
+/// side's index and refreshes it only when the cached value implies
+/// full/empty — the common case touches no shared cache line but its
+/// own. head_/tail_ (and the cache fields) are cache-line-padded so the
+/// producer's stores never invalidate the consumer's line.
+///
+/// TryPush/TryPop never block; backpressure (spin-then-park) is layered
+/// on top by rt::SpscTransport, which owns the park/wake machinery.
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` is rounded up to the next power of two (min 2).
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Moves `value` into the ring and returns true, or
+  /// returns false (value untouched) when the ring is full.
+  bool TryPush(T& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;  // full
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Moves the oldest element into `*out` and returns
+  /// true, or returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;  // empty
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness probe (exact for the consumer: a false
+  /// return means an element is ready to pop right now).
+  bool Empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Approximate occupancy; exact only when both sides are quiescent
+  /// (which is when the drain logic reads it).
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<size_t>(tail - head);
+  }
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  // Slot storage is written by the producer and read by the consumer,
+  // always on disjoint indices ordered by the head/tail publications.
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+
+  /// Consumer-owned: next slot to read.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  /// Consumer's cached view of tail_ (plain: consumer-only).
+  alignas(64) uint64_t cached_tail_ = 0;
+  /// Producer-owned: next slot to write.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  /// Producer's cached view of head_ (plain: producer-only).
+  alignas(64) uint64_t cached_head_ = 0;
+};
+
+}  // namespace rt
+}  // namespace dcape
+
+#endif  // DCAPE_RT_SPSC_QUEUE_H_

@@ -1,0 +1,199 @@
+#include "rt/spsc_transport.h"
+
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace dcape {
+namespace rt {
+
+SpscTransport::SpscTransport(int num_nodes, const Config& config)
+    : num_nodes_(num_nodes),
+      config_(config),
+      links_(static_cast<size_t>(num_nodes) * static_cast<size_t>(num_nodes)),
+      handlers_(static_cast<size_t>(num_nodes)),
+      producer_stats_(static_cast<size_t>(num_nodes)),
+      poll_cursor_(static_cast<size_t>(num_nodes), 0) {
+  DCAPE_CHECK_GT(num_nodes, 0);
+  for (auto& cell : links_) cell.store(nullptr, std::memory_order_relaxed);
+  gates_.reserve(static_cast<size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    gates_.push_back(std::make_unique<Gate>());
+  }
+}
+
+SpscTransport::~SpscTransport() {
+  for (auto& cell : links_) {
+    delete cell.load(std::memory_order_acquire);
+  }
+}
+
+void SpscTransport::RegisterNode(NodeId node, Handler handler) {
+  DCAPE_CHECK_GE(node, 0);
+  DCAPE_CHECK_LT(node, num_nodes_);
+  handlers_[static_cast<size_t>(node)] = std::move(handler);
+}
+
+SpscTransport::Link* SpscTransport::LinkFor(NodeId from, NodeId to) {
+  std::atomic<Link*>& cell =
+      links_[static_cast<size_t>(from) * static_cast<size_t>(num_nodes_) +
+             static_cast<size_t>(to)];
+  Link* link = cell.load(std::memory_order_acquire);
+  if (link == nullptr) {
+    // Only the `from` thread creates from->* links, so plain install
+    // (no CAS race); release publishes the ring to the consumer.
+    link = new Link(config_.link_capacity);
+    cell.store(link, std::memory_order_release);
+  }
+  return link;
+}
+
+void SpscTransport::Send(Message message, Tick now) {
+  const NodeId from = message.from;
+  const NodeId to = message.to;
+  DCAPE_CHECK_GE(from, 0);
+  DCAPE_CHECK_LT(from, num_nodes_);
+  DCAPE_CHECK_GE(to, 0);
+  DCAPE_CHECK_LT(to, num_nodes_);
+  message.send_time = now;
+
+  ProducerStats& stats = producer_stats_[static_cast<size_t>(from)];
+  stats.messages_sent += 1;
+  const int64_t bytes = message.ByteSize();
+  stats.bytes_sent += bytes;
+  if (message.type == MessageType::kStateTransfer) {
+    stats.state_transfer_bytes += bytes;
+  }
+
+  Link* link = LinkFor(from, to);
+  Gate& gate = *gates_[static_cast<size_t>(to)];
+  // Count the send *before* the push: once the message is poppable the
+  // counter already covers it, so Outstanding() can never transiently
+  // read 0 while a message sits in a ring.
+  sent_.fetch_add(1, std::memory_order_release);
+
+  auto push_and_wake = [&]() {
+    // Ring the consumer's gate only when it advertised that it is (or is
+    // about to be) parked; seq_cst pairs with the consumer's
+    // waiting-store / empty-recheck in WaitForInbound.
+    if (gate.waiting.load(std::memory_order_seq_cst)) {
+      MutexLock lock(gate.mu);
+      gate.cv.NotifyAll();
+    }
+  };
+
+  // Fast path + bounded spin.
+  for (int i = 0; i < config_.spin_iters; ++i) {
+    if (link->ring.TryPush(message)) {
+      push_and_wake();
+      return;
+    }
+    std::this_thread::yield();
+  }
+
+  // Park until the consumer frees a slot. Dekker handshake with the
+  // consumer's pop-side unpark check: store the flag, *then* re-check
+  // the ring; the consumer pops, *then* checks the flag. Whatever the
+  // interleaving, either our re-check succeeds or the consumer sees the
+  // flag and notifies — and the bounded WaitFor makes even a lost race
+  // cost microseconds, not liveness.
+  stats.backpressure_parks += 1;
+  int64_t parked_micros = 0;
+  while (true) {
+    link->producer_parked.store(true, std::memory_order_seq_cst);
+    if (link->ring.TryPush(message)) {
+      link->producer_parked.store(false, std::memory_order_relaxed);
+      push_and_wake();
+      return;
+    }
+    {
+      MutexLock lock(link->mu);
+      link->cv.WaitFor(link->mu, 1000);
+    }
+    parked_micros += 1000;  // upper bound; used only by the watchdog
+    DCAPE_CHECK_LT(parked_micros, config_.park_abort_micros);
+        // realtime data plane deadlocked: producer parked beyond the
+        // watchdog limit (see docs/REALTIME.md, "Backpressure")
+  }
+}
+
+int SpscTransport::Poll(NodeId node, Tick now, int max_messages) {
+  const size_t n = static_cast<size_t>(num_nodes_);
+  const Handler& handler = handlers_[static_cast<size_t>(node)];
+  DCAPE_CHECK(handler != nullptr);
+  int delivered = 0;
+  int idle_scans = 0;
+  int cursor = poll_cursor_[static_cast<size_t>(node)];
+  while (delivered < max_messages && idle_scans < num_nodes_) {
+    cursor = (cursor + 1) % num_nodes_;
+    Link* link =
+        links_[static_cast<size_t>(cursor) * n + static_cast<size_t>(node)]
+            .load(std::memory_order_acquire);
+    if (link == nullptr) {
+      ++idle_scans;
+      continue;
+    }
+    Message message;
+    if (!link->ring.TryPop(&message)) {
+      ++idle_scans;
+      continue;
+    }
+    idle_scans = 0;
+    // Unpark the producer if it advertised a full-ring park; the pop
+    // above freed a slot for it (Dekker pairing with Send).
+    if (link->producer_parked.load(std::memory_order_seq_cst)) {
+      MutexLock lock(link->mu);
+      link->cv.NotifyAll();
+    }
+    handler(now, message);
+    // Count after the handler: Outstanding()==0 then implies the
+    // message's effects (including any sends it triggered, which were
+    // counted before their push) are visible.
+    delivered_.fetch_add(1, std::memory_order_release);
+    ++delivered;
+  }
+  poll_cursor_[static_cast<size_t>(node)] = cursor;
+  return delivered;
+}
+
+bool SpscTransport::InboundEmpty(NodeId node) const {
+  const size_t n = static_cast<size_t>(num_nodes_);
+  for (size_t from = 0; from < n; ++from) {
+    const Link* link =
+        links_[from * n + static_cast<size_t>(node)].load(
+            std::memory_order_acquire);
+    if (link != nullptr && !link->ring.Empty()) return false;
+  }
+  return true;
+}
+
+void SpscTransport::WaitForInbound(NodeId node, int64_t micros) {
+  Gate& gate = *gates_[static_cast<size_t>(node)];
+  // Advertise the park, then re-check for work (Dekker pairing with the
+  // producer's push-then-check-flag in Send).
+  gate.waiting.store(true, std::memory_order_seq_cst);
+  if (!InboundEmpty(node)) {
+    gate.waiting.store(false, std::memory_order_relaxed);
+    return;
+  }
+  {
+    MutexLock lock(gate.mu);
+    gate.cv.WaitFor(gate.mu, micros);
+  }
+  gate.waiting.store(false, std::memory_order_relaxed);
+}
+
+SpscTransport::Stats SpscTransport::TotalStats() const {
+  Stats total;
+  for (const ProducerStats& p : producer_stats_) {
+    total.messages_sent += p.messages_sent;
+    total.bytes_sent += p.bytes_sent;
+    total.state_transfer_bytes += p.state_transfer_bytes;
+    total.backpressure_parks += p.backpressure_parks;
+  }
+  return total;
+}
+
+}  // namespace rt
+}  // namespace dcape

@@ -1,0 +1,43 @@
+#ifndef DCAPE_RT_WALL_CLOCK_H_
+#define DCAPE_RT_WALL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/virtual_clock.h"
+
+namespace dcape {
+namespace rt {
+
+/// Monotonic wall clock anchored at construction — the time base of a
+/// realtime run. All realtime timestamps are *relative to run start* so
+/// they line up with the virtual-clock convention (tick 0 = run start)
+/// and stay small.
+///
+/// The realtime driver passes NowMs() as the `Tick now` argument of
+/// every node callback: one tick == one wall millisecond, which is
+/// exactly the simulator's tick definition, so the engines' periodic
+/// timers (stats reports, spill checks, adaptation cadence) fire on
+/// real steady-clock periods without any operator-code change.
+class WallClock {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Microseconds since run start.
+  int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Milliseconds since run start, as a Tick (1 tick == 1 wall ms).
+  Tick NowMs() const { return static_cast<Tick>(NowMicros() / 1000); }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace rt
+}  // namespace dcape
+
+#endif  // DCAPE_RT_WALL_CLOCK_H_

@@ -111,6 +111,14 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
       config.use_file_backend = true;
       continue;
     }
+    if (view == "--realtime") {
+      options.realtime = true;
+      continue;
+    }
+    if (view == "--check-oracle") {
+      options.rt_check_oracle = true;
+      continue;
+    }
     if (view.substr(0, 2) != "--" || view.find('=') == std::string_view::npos) {
       return Status::InvalidArgument("unrecognized argument '" + arg +
                                      "' (expected --key=value; see --help)");
@@ -209,6 +217,20 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
         return Status::InvalidArgument(
             "--segment-format must be v1 or v2");
       }
+    } else if (key == "--duration-sec") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 1) return Status::InvalidArgument("--duration-sec must be >= 1");
+      options.rt_duration_sec = static_cast<int>(v);
+    } else if (key == "--rate") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 0) return Status::InvalidArgument("--rate must be >= 0");
+      options.rt_rate = v;
+    } else if (key == "--rt-queue-capacity") {
+      DCAPE_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      if (v < 2) {
+        return Status::InvalidArgument("--rt-queue-capacity must be >= 2");
+      }
+      options.rt_queue_capacity = static_cast<size_t>(v);
     } else if (key == "--csv") {
       options.csv_path = std::string(value);
     } else if (key == "--record-trace") {
@@ -231,6 +253,32 @@ StatusOr<ExperimentOptions> ParseExperimentFlags(
   }
 
   config.workload.classes = {PartitionClass{join_rate, tuple_range}};
+
+  // Realtime-mode consistency. Every conflict names the offending flag
+  // so the error is actionable (PR 3 convention).
+  if (options.realtime) {
+    // Simulator-only machinery that has no wall-clock meaning (or whose
+    // export contract is tick-based).
+    for (const char* conflict :
+         {"--threads", "--duration-min", "--window-sec", "--trace-out",
+          "--report"}) {
+      if (seen.count(conflict) != 0) {
+        return Status::InvalidArgument(
+            std::string(conflict) +
+            " is simulator-only and incompatible with --realtime (see "
+            "docs/REALTIME.md)");
+      }
+    }
+  } else {
+    for (const char* rt_only :
+         {"--duration-sec", "--rate", "--check-oracle",
+          "--rt-queue-capacity"}) {
+      if (seen.count(rt_only) != 0) {
+        return Status::InvalidArgument(std::string(rt_only) +
+                                       " requires --realtime");
+      }
+    }
+  }
 
   // All range and strategy-consistency validation lives in
   // ClusterConfig::Builder::Validate(); hand it the set of explicitly
@@ -287,6 +335,17 @@ storage:
   --file-backend         spill to real files under a temp dir
   --async-io             background thread for real spill writes
                          (virtual-time results are identical)
+
+realtime (docs/REALTIME.md):
+  --realtime             free-running wall-clock driver: one thread per
+                         node, lock-free SPSC links, real timers.
+                         Incompatible with --threads, --duration-min,
+                         --window-sec, --trace-out, --report
+  --duration-sec=N       wall-clock generation seconds             [5]
+  --rate=N               target input tuples/sec; 0 = free-run     [0]
+  --check-oracle         replay the same input on the deterministic
+                         simulator and require identical output
+  --rt-queue-capacity=N  SPSC ring slots per link                  [8192]
 
 output:
   --csv=PATH             write throughput/memory series as CSV

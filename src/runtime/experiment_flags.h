@@ -29,6 +29,21 @@ struct ExperimentOptions {
   bool verbose = false;
   /// Print the throughput/memory tables (summary always prints).
   bool tables = true;
+
+  /// Run on the free-running realtime driver (rt::RealtimeDriver): one
+  /// real thread per node, SPSC links, wall-clock timers. Incompatible
+  /// with the simulator-only flags (--threads, --duration-min,
+  /// --window-sec, --trace-out, --report); see docs/REALTIME.md.
+  bool realtime = false;
+  /// Wall-clock seconds of the generation phase (--duration-sec).
+  int rt_duration_sec = 5;
+  /// Target input rate in tuples/sec; 0 = free-run (--rate).
+  int64_t rt_rate = 0;
+  /// After the realtime run, replay the same input on the deterministic
+  /// simulator and require identical final output (--check-oracle).
+  bool rt_check_oracle = false;
+  /// SPSC ring capacity per link, in messages (--rt-queue-capacity).
+  size_t rt_queue_capacity = 8192;
 };
 
 /// Parses `--key=value` flags into an ExperimentOptions. Unknown flags,
@@ -59,6 +74,9 @@ struct ExperimentOptions {
 ///   --trace-out=PATH (Chrome trace_event JSON; implies --trace)
 ///   --report=timeline (adaptation timeline; implies --trace)
 ///   --quiet (no tables)       --verbose (narrate adaptations)
+///   --realtime                (wall-clock driver; see docs/REALTIME.md)
+///   --duration-sec=N [5]      --rate=N [0 = free-run]
+///   --check-oracle            --rt-queue-capacity=N [8192]
 [[nodiscard]] StatusOr<ExperimentOptions> ParseExperimentFlags(
     const std::vector<std::string>& args);
 

@@ -11,7 +11,7 @@ namespace dcape {
 GeneratorNode::GeneratorNode(NodeId node_id,
                              std::unique_ptr<InputSource> source,
                              std::vector<NodeId> split_host_of_stream,
-                             Network* network, std::string* record_trace)
+                             Transport* network, std::string* record_trace)
     : node_id_(node_id),
       source_(std::move(source)),
       split_host_of_stream_(std::move(split_host_of_stream)),
@@ -43,6 +43,7 @@ void GeneratorNode::OnTick(Tick now, bool generate) {
     batch.tuples.push_back(std::move(t));
   }
   for (auto& [key, batch] : batches) {
+    batch.emit_wall_us = emit_wall_us_;
     network_->Send(MakeTupleBatchMessage(node_id_, key.first,
                                          std::move(batch)),
                    now);

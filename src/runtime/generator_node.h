@@ -7,7 +7,7 @@
 
 #include "common/ids.h"
 #include "common/virtual_clock.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "stream/input_source.h"
 #include "stream/trace.h"
 
@@ -24,7 +24,7 @@ class GeneratorNode {
   /// `split_host_of_stream[s]` is the node hosting stream s's split.
   /// `record_trace`, when non-null, receives the emitted trace.
   GeneratorNode(NodeId node_id, std::unique_ptr<InputSource> source,
-                std::vector<NodeId> split_host_of_stream, Network* network,
+                std::vector<NodeId> split_host_of_stream, Transport* network,
                 std::string* record_trace);
 
   GeneratorNode(const GeneratorNode&) = delete;
@@ -36,6 +36,12 @@ class GeneratorNode {
   /// silences the source (drain phase).
   void OnTick(Tick now, bool generate = true);
 
+  /// Realtime only: wall-clock stamp (microseconds since run start)
+  /// copied onto every batch the *next* OnTick emits, so the sink can
+  /// measure end-to-end latency. The virtual-clock driver never calls
+  /// this and batches carry 0.
+  void StampNextEmit(int64_t wall_us) { emit_wall_us_ = wall_us; }
+
   /// Finalizes the recording trace (idempotent).
   void FinishTrace();
 
@@ -45,8 +51,9 @@ class GeneratorNode {
   NodeId node_id_;
   std::unique_ptr<InputSource> source_;
   std::vector<NodeId> split_host_of_stream_;
-  Network* network_;
+  Transport* network_;
   std::unique_ptr<TraceWriter> trace_writer_;
+  int64_t emit_wall_us_ = 0;
 };
 
 }  // namespace dcape

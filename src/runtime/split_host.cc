@@ -9,7 +9,7 @@
 namespace dcape {
 
 SplitHost::SplitHost(const SplitHostConfig& config,
-                     std::vector<EngineId> placement, Network* network)
+                     std::vector<EngineId> placement, Transport* network)
     : config_(config), network_(network) {
   DCAPE_CHECK(network_ != nullptr);
   DCAPE_CHECK(!config_.streams.empty());
@@ -42,7 +42,8 @@ const Split& SplitHost::split(StreamId stream) const {
   return *it->second;
 }
 
-void SplitHost::RouteAndSend(Tick now, std::vector<Tuple> tuples) {
+void SplitHost::RouteAndSend(Tick now, std::vector<Tuple> tuples,
+                             int64_t emit_wall_us) {
   std::map<std::pair<EngineId, StreamId>, TupleBatch> batches;
   for (Tuple& tuple : tuples) {
     Split& split = this->split(tuple.stream_id);
@@ -53,6 +54,7 @@ void SplitHost::RouteAndSend(Tick now, std::vector<Tuple> tuples) {
     batch.tuples.push_back(std::move(tuple));
   }
   for (auto& [key, batch] : batches) {
+    batch.emit_wall_us = emit_wall_us;
     network_->Send(MakeTupleBatchMessage(config_.node_id,
                                          static_cast<NodeId>(key.first),
                                          std::move(batch)),
@@ -60,7 +62,8 @@ void SplitHost::RouteAndSend(Tick now, std::vector<Tuple> tuples) {
   }
 }
 
-void SplitHost::FilterAndRoute(Tick now, std::vector<Tuple> tuples) {
+void SplitHost::FilterAndRoute(Tick now, std::vector<Tuple> tuples,
+                               int64_t emit_wall_us) {
   if (!selects_.empty()) {
     std::vector<Tuple> selected;
     selected.reserve(tuples.size());
@@ -75,12 +78,12 @@ void SplitHost::FilterAndRoute(Tick now, std::vector<Tuple> tuples) {
   if (project_ != nullptr) {
     for (Tuple& t : tuples) project_->Process(&t);
   }
-  if (!tuples.empty()) RouteAndSend(now, std::move(tuples));
+  if (!tuples.empty()) RouteAndSend(now, std::move(tuples), emit_wall_us);
 }
 
 void SplitHost::OnTupleBatch(Tick now, TupleBatch&& batch) {
   DCAPE_CHECK(HostsStream(batch.stream_id));
-  FilterAndRoute(now, std::move(batch.tuples));
+  FilterAndRoute(now, std::move(batch.tuples), batch.emit_wall_us);
 }
 
 void SplitHost::OnMessage(Tick now, const Message& message) {
@@ -161,7 +164,7 @@ void SplitHost::OnMessage(Tick now, const Message& message) {
         DCAPE_LOG(kDebug) << "split host " << config_.node_id << " flushing "
                           << released.size() << " buffered tuples to engine "
                           << update.new_owner;
-        RouteAndSend(now, std::move(released));
+        RouteAndSend(now, std::move(released), /*emit_wall_us=*/0);
       }
 
       if (config_.invariants != nullptr) {

@@ -11,7 +11,7 @@
 #include "common/ids.h"
 #include "common/virtual_clock.h"
 #include "net/message.h"
-#include "net/network.h"
+#include "net/transport.h"
 #include "obs/trace.h"
 #include "operators/select.h"
 #include "operators/split.h"
@@ -57,7 +57,7 @@ class SplitHost {
  public:
   /// `placement[p]` is the initial engine of partition p.
   SplitHost(const SplitHostConfig& config, std::vector<EngineId> placement,
-            Network* network);
+            Transport* network);
 
   SplitHost(const SplitHost&) = delete;
   SplitHost& operator=(const SplitHost&) = delete;
@@ -90,13 +90,16 @@ class SplitHost {
   const ProjectOp* project() const { return project_.get(); }
 
  private:
-  /// Applies select/project and routes fresh tuples.
-  void FilterAndRoute(Tick now, std::vector<Tuple> tuples);
+  /// Applies select/project and routes fresh tuples. `emit_wall_us`
+  /// (realtime runs) is copied onto every outgoing batch.
+  void FilterAndRoute(Tick now, std::vector<Tuple> tuples,
+                      int64_t emit_wall_us);
   /// Routes tuples (no filtering â used for buffered re-release too).
-  void RouteAndSend(Tick now, std::vector<Tuple> tuples);
+  void RouteAndSend(Tick now, std::vector<Tuple> tuples,
+                    int64_t emit_wall_us);
 
   SplitHostConfig config_;
-  Network* network_;
+  Transport* network_;
   /// Relocation ids paused here and not yet released (invariant
   /// bookkeeping; only maintained when config_.invariants is set).
   std::set<int64_t> paused_relocations_;

@@ -11,66 +11,13 @@
 
 #include "runtime/cluster.h"
 #include "sim/invariants.h"
+#include "sim/oracle.h"
 #include "tuple/tuple.h"
 
 namespace dcape {
 namespace sim {
 
 namespace {
-
-std::map<std::string, int> ResultMultiset(const RunResult& result) {
-  std::map<std::string, int> multiset;
-  for (const JoinResult& r : result.collected) multiset[r.EncodeKey()] += 1;
-  for (const JoinResult& r : result.cleanup.results) {
-    multiset[r.EncodeKey()] += 1;
-  }
-  return multiset;
-}
-
-std::vector<int64_t> PerStreamProcessed(const RunResult& result,
-                                        int num_streams) {
-  std::vector<int64_t> sums(static_cast<size_t>(num_streams), 0);
-  for (const QueryEngine::Counters& counters : result.engines) {
-    for (size_t s = 0;
-         s < counters.tuples_per_stream.size() && s < sums.size(); ++s) {
-      sums[s] += counters.tuples_per_stream[s];
-    }
-  }
-  return sums;
-}
-
-void DiffOutputs(const std::map<std::string, int>& got,
-                 const std::map<std::string, int>& want,
-                 std::vector<std::string>* violations) {
-  int64_t missing = 0;
-  int64_t extra = 0;
-  std::vector<std::string> examples;
-  auto note = [&](const std::string& key, int delta) {
-    if (delta > 0) {
-      extra += delta;
-    } else {
-      missing -= delta;
-    }
-    if (examples.size() < 3) {
-      examples.push_back(key + (delta > 0 ? "(+" : "(") +
-                         std::to_string(delta) + ")");
-    }
-  };
-  for (const auto& [key, count] : want) {
-    auto it = got.find(key);
-    const int have = it == got.end() ? 0 : it->second;
-    if (have != count) note(key, have - count);
-  }
-  for (const auto& [key, count] : got) {
-    if (want.find(key) == want.end()) note(key, count);
-  }
-  if (missing == 0 && extra == 0) return;
-  std::string text = "output mismatch vs all-mem oracle: missing=" +
-                     std::to_string(missing) +
-                     " extra=" + std::to_string(extra) + " e.g.";
-  for (const std::string& example : examples) text += " " + example;
-  violations->push_back(std::move(text));
-}
 
 /// The shrinker's unit of work: a nameable, independently disableable
 /// group of FaultSpec fields.

@@ -1,0 +1,38 @@
+#ifndef DCAPE_SIM_ORACLE_H_
+#define DCAPE_SIM_ORACLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/run_result.h"
+
+namespace dcape {
+namespace sim {
+
+/// Differential-oracle helpers shared by the chaos harness and the
+/// realtime driver's `--check-oracle` mode. Both compare a run whose
+/// timing is untrusted (fault-injected simulation, wall-clock realtime)
+/// against a golden deterministic run of the same input, using the two
+/// properties adaptation must preserve: the final joined output as a
+/// multiset, and the per-stream count of tuples processed.
+
+/// The run's complete output (runtime-collected ∪ cleanup results) as an
+/// encoded-key multiset. Requires the run to have collected results.
+std::map<std::string, int> ResultMultiset(const RunResult& result);
+
+/// Tuples processed per stream, summed over all engines — relocation
+/// moves work between engines but never changes these totals.
+std::vector<int64_t> PerStreamProcessed(const RunResult& result,
+                                        int num_streams);
+
+/// Appends a violation describing any multiset difference (missing /
+/// extra results with examples); appends nothing when `got == want`.
+void DiffOutputs(const std::map<std::string, int>& got,
+                 const std::map<std::string, int>& want,
+                 std::vector<std::string>* violations);
+
+}  // namespace sim
+}  // namespace dcape
+
+#endif  // DCAPE_SIM_ORACLE_H_

@@ -58,6 +58,13 @@ struct Tuple {
 struct TupleBatch {
   StreamId stream_id = 0;
   std::vector<Tuple> tuples;
+  /// Wall-clock emission time (microseconds since run start) stamped by
+  /// the realtime generator, so the sink can measure true end-to-end
+  /// latency regardless of the tick/wall pacing ratio. 0 in the
+  /// virtual-clock simulator and for re-released buffered tuples;
+  /// transport metadata only — excluded from ByteSize so the simulated
+  /// bandwidth model is unchanged.
+  int64_t emit_wall_us = 0;
 
   int64_t ByteSize() const {
     int64_t total = static_cast<int64_t>(sizeof(StreamId));

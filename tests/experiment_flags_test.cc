@@ -208,5 +208,77 @@ TEST(EnumParseTest, RoundTripsAllValues) {
   }
 }
 
+TEST(ExperimentFlagsTest, RealtimeDefaultsOffAndParses) {
+  StatusOr<ExperimentOptions> off = Parse({});
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->realtime);
+  EXPECT_FALSE(off->rt_check_oracle);
+
+  StatusOr<ExperimentOptions> on =
+      Parse({"--realtime", "--duration-sec=9", "--rate=120000",
+             "--check-oracle", "--rt-queue-capacity=1024"});
+  ASSERT_TRUE(on.ok());
+  EXPECT_TRUE(on->realtime);
+  EXPECT_EQ(on->rt_duration_sec, 9);
+  EXPECT_EQ(on->rt_rate, 120000);
+  EXPECT_TRUE(on->rt_check_oracle);
+  EXPECT_EQ(on->rt_queue_capacity, 1024u);
+}
+
+TEST(ExperimentFlagsTest, RealtimeRejectsSimulatorOnlyFlagsByName) {
+  // Each conflicting flag is simulator-only; the error must name it so
+  // the fix is obvious.
+  const std::vector<std::vector<std::string>> cases = {
+      {"--realtime", "--threads=2"},
+      {"--realtime", "--duration-min=5"},
+      {"--realtime", "--window-sec=60"},
+      {"--realtime", "--trace-out=/tmp/t.json"},
+      {"--realtime", "--report=timeline"},
+  };
+  for (const auto& args : cases) {
+    StatusOr<ExperimentOptions> options = Parse(args);
+    ASSERT_FALSE(options.ok()) << args[1];
+    const std::string flag_name = args[1].substr(0, args[1].find('='));
+    EXPECT_NE(options.status().message().find(flag_name), std::string::npos)
+        << options.status().message();
+    EXPECT_NE(options.status().message().find("--realtime"),
+              std::string::npos)
+        << options.status().message();
+  }
+}
+
+TEST(ExperimentFlagsTest, RealtimeOnlyFlagsRequireRealtime) {
+  const std::vector<std::string> rt_only = {
+      "--duration-sec=9", "--rate=1000", "--check-oracle",
+      "--rt-queue-capacity=64"};
+  for (const std::string& arg : rt_only) {
+    StatusOr<ExperimentOptions> options = Parse({arg});
+    ASSERT_FALSE(options.ok()) << arg;
+    const std::string flag_name = arg.substr(0, arg.find('='));
+    EXPECT_NE(options.status().message().find(flag_name), std::string::npos)
+        << options.status().message();
+    EXPECT_NE(options.status().message().find("requires --realtime"),
+              std::string::npos)
+        << options.status().message();
+  }
+}
+
+TEST(ExperimentFlagsTest, RealtimeValueRanges) {
+  EXPECT_FALSE(Parse({"--realtime", "--duration-sec=0"}).ok());
+  EXPECT_FALSE(Parse({"--realtime", "--rate=-1"}).ok());
+  EXPECT_FALSE(Parse({"--realtime", "--rt-queue-capacity=1"}).ok());
+}
+
+TEST(ExperimentFlagsTest, RealtimeAllowsSharedFlags) {
+  // The whole adaptation / workload surface stays available.
+  StatusOr<ExperimentOptions> options =
+      Parse({"--realtime", "--strategy=lazy-disk", "--engines=4",
+             "--streams=3", "--fluctuation", "--csv=/tmp/x.csv",
+             "--trace", "--async-io", "--file-backend"});
+  ASSERT_TRUE(options.ok()) << options.status().message();
+  EXPECT_TRUE(options->realtime);
+  EXPECT_EQ(options->cluster.num_engines, 4);
+}
+
 }  // namespace
 }  // namespace dcape

@@ -1,5 +1,7 @@
 #include "runtime/generator_node.h"
 
+#include "net/network.h"
+
 #include <gtest/gtest.h>
 
 #include <map>

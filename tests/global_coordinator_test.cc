@@ -1,5 +1,7 @@
 #include "core/global_coordinator.h"
 
+#include "net/network.h"
+
 #include <gtest/gtest.h>
 
 #include <vector>

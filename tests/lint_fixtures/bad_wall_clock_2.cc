@@ -1,0 +1,24 @@
+// dcape-lint fixture: must trigger exactly [wall-clock].
+//
+// The src/rt/ realtime plane is exempt from the wall-clock check (its
+// whole job is steady-clock pacing), but that exemption is a path
+// prefix, not a pattern change: the same calls in any virtual-clock
+// file — here, imagining an engine "optimization" that naps while its
+// inbox is empty — must still be findings.
+#include <chrono>
+#include <thread>
+
+namespace dcape {
+
+void NapUntilInboxCheck() {
+  // Both lines below are idiomatic in src/rt/ and illegal anywhere the
+  // virtual clock rules: a real sleep desynchronizes replay, and a
+  // steady_clock deadline smuggles wall time into tick logic.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+}  // namespace dcape

@@ -1,5 +1,7 @@
 #include "engine/query_engine.h"
 
+#include "net/network.h"
+
 #include <gtest/gtest.h>
 
 #include <memory>

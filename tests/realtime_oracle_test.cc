@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rt/realtime_driver.h"
+#include "runtime/cluster.h"
+#include "sim/oracle.h"
+#include "test_util.h"
+
+namespace dcape {
+namespace rt {
+namespace {
+
+/// Runs `config` on the realtime driver, then replays the identical
+/// input (the exact tick range the wall-clock generator covered) on the
+/// deterministic virtual-clock simulator, and requires the two runs to
+/// agree on the complete output multiset and the per-stream processed
+/// counts — the differential-oracle guarantee of docs/REALTIME.md.
+void ExpectMatchesVirtualOracle(ClusterConfig config,
+                                const RealtimeOptions& options) {
+  config.collect_results = true;
+  config.cleanup.collect_results = true;
+
+  RealtimeDriver driver(config, options);
+  RunResult realtime = driver.Run();
+  const RealtimeReport& report = driver.report();
+  ASSERT_GT(report.tuples_generated, 0);
+  ASSERT_GT(report.ticks_run, 0);
+
+  // Golden: no adaptation, single-threaded, virtual clock — the
+  // configuration whose correctness the tier-1 suite establishes.
+  ClusterConfig golden_config = config;
+  golden_config.strategy = AdaptationStrategy::kNoAdaptation;
+  golden_config.num_threads = 1;
+  golden_config.async_spill_io = false;
+  golden_config.use_file_backend = false;
+  golden_config.run_duration = report.ticks_run;
+  Cluster golden_cluster(golden_config);
+  RunResult golden = golden_cluster.Run();
+
+  // Same input…
+  EXPECT_EQ(realtime.tuples_generated, golden.tuples_generated);
+  // …same output, as a sorted multiset (std::map orders the keys), no
+  // matter how wall-clock timing interleaved spills and batches.
+  std::vector<std::string> violations;
+  sim::DiffOutputs(sim::ResultMultiset(realtime), sim::ResultMultiset(golden),
+                   &violations);
+  for (const std::string& v : violations) ADD_FAILURE() << v;
+  // …and the same per-stream accounting, summed over engines.
+  EXPECT_EQ(sim::PerStreamProcessed(realtime, config.workload.num_streams),
+            sim::PerStreamProcessed(golden, config.workload.num_streams));
+}
+
+TEST(RealtimeOracleTest, AllMemMatchesVirtualRun) {
+  ClusterConfig config = testing::SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  RealtimeOptions options;
+  options.duration_sec = 1;
+  options.rate = 10000;
+  ExpectMatchesVirtualOracle(config, options);
+}
+
+TEST(RealtimeOracleTest, SpillOnlyUnderWallClockTimersMatchesVirtualRun) {
+  // A threshold far below the run's state footprint, so the engines'
+  // wall-clock spill timers actually fire mid-run (the adaptation path
+  // whose timing differs most from the simulator).
+  ClusterConfig config = testing::SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kSpillOnly;
+  config.spill.memory_threshold_bytes = 32 * kKiB;
+  // Sparser key space than SmallClusterConfig's 480: at 40k input
+  // tuples, a dense key space would join into millions of results and
+  // the test would spend minutes comparing multisets. State size (what
+  // spilling reacts to) is unaffected.
+  config.workload.classes[0].tuple_range = 24000;
+  RealtimeOptions options;
+  options.duration_sec = 2;
+  options.rate = 20000;
+  ExpectMatchesVirtualOracle(config, options);
+}
+
+TEST(RealtimeOracleTest, FreeRunMatchesVirtualRun) {
+  // Free-run (rate=0): the generator advances the tick cursor as fast
+  // as backpressure admits; whatever prefix it reaches must still replay
+  // exactly.
+  ClusterConfig config = testing::SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  // Every tick emits tuples (no empty cursor spins), so the free-running
+  // generator is bounded by real per-tick work and the golden replay
+  // walks the same dense tick range; the sparse key space keeps the
+  // result sets comparable in milliseconds.
+  config.workload.inter_arrival_ticks = 1;
+  config.workload.classes[0].tuple_range = 48000;
+  RealtimeOptions options;
+  options.duration_sec = 1;
+  options.rate = 0;
+  options.link_capacity = 256;  // small rings: exercise backpressure
+  ExpectMatchesVirtualOracle(config, options);
+}
+
+TEST(RealtimeOracleTest, ReportsSustainedRates) {
+  ClusterConfig config = testing::SmallClusterConfig();
+  config.strategy = AdaptationStrategy::kNoAdaptation;
+  config.collect_results = false;
+  config.cleanup.collect_results = false;
+  RealtimeOptions options;
+  options.duration_sec = 1;
+  options.rate = 10000;
+  RealtimeDriver driver(config, options);
+  RunResult result = driver.Run();
+  const RealtimeReport& report = driver.report();
+  // 10k tuples/sec for 1s, within generous scheduling slack.
+  EXPECT_GT(report.tuples_generated, 8000);
+  EXPECT_LT(report.tuples_generated, 13000);
+  EXPECT_GT(report.tuples_per_sec, 0);
+  EXPECT_GE(report.generate_wall_sec, 1.0);
+  EXPECT_EQ(result.tuples_generated, report.tuples_generated);
+  // End-to-end latency was measured for the direct result path.
+  EXPECT_GT(report.latency_us.count(), 0);
+  EXPECT_EQ(report.engine_threads, config.num_engines);
+}
+
+}  // namespace
+}  // namespace rt
+}  // namespace dcape

@@ -16,10 +16,126 @@
 
 #include "dcape.h"
 #include "metrics/csv.h"
+#include "rt/realtime_driver.h"
+#include "sim/oracle.h"
 #include "stream/trace.h"
 
 namespace dcape {
 namespace {
+
+/// The --realtime path: run the wall-clock driver, print the sustained
+/// throughput + latency report, and (with --check-oracle) replay the
+/// identical input on the deterministic simulator and diff the outputs.
+int RunRealtime(ExperimentOptions options) {
+  if (options.rt_check_oracle) {
+    // The oracle compares the complete output multiset; both runs must
+    // retain their results.
+    options.cluster.collect_results = true;
+    options.cluster.cleanup.collect_results = true;
+  }
+  rt::RealtimeOptions rt_options;
+  rt_options.duration_sec = options.rt_duration_sec;
+  rt_options.rate = options.rt_rate;
+  rt_options.link_capacity = options.rt_queue_capacity;
+
+  std::cout << "realtime strategy=" << StrategyName(options.cluster.strategy)
+            << " engines=" << options.cluster.num_engines
+            << " duration=" << rt_options.duration_sec << "s rate="
+            << (rt_options.rate > 0 ? std::to_string(rt_options.rate)
+                                    : std::string("free-run"))
+            << " threshold="
+            << FormatBytes(options.cluster.spill.memory_threshold_bytes)
+            << "\n";
+
+  rt::RealtimeDriver driver(options.cluster, rt_options);
+  RunResult result = driver.Run();
+  const rt::RealtimeReport& report = driver.report();
+
+  std::cout << "generated " << report.tuples_generated << " tuples over "
+            << report.ticks_run << " virtual ticks in "
+            << report.generate_wall_sec << "s wall ("
+            << static_cast<int64_t>(report.tuples_per_sec)
+            << " tuples/sec in, "
+            << static_cast<int64_t>(report.results_per_sec)
+            << " results/sec out)\n";
+  const Histogram& lat = report.latency_us;
+  if (lat.count() > 0) {
+    std::cout << "latency_us p50=" << lat.Quantile(0.5)
+              << " p90=" << lat.Quantile(0.9) << " p99=" << lat.Quantile(0.99)
+              << " max=" << lat.max() << " (n=" << lat.count() << ")\n";
+  }
+  std::cout << "backpressure_parks=" << report.backpressure_parks
+            << " threads=" << report.total_threads << " (engines "
+            << report.engine_threads << ")\n";
+  result.PrintSummary(std::cout);
+
+  if (!options.csv_path.empty()) {
+    std::vector<const TimeSeries*> series = {&result.throughput};
+    for (const TimeSeries& m : result.engine_memory) series.push_back(&m);
+    Status status = WriteSeriesCsv(options.csv_path, series);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "series written to " << options.csv_path << "\n";
+  }
+  if (!options.record_trace_path.empty()) {
+    Status status = WriteTraceFile(options.record_trace_path,
+                                   *options.cluster.record_trace);
+    if (!status.ok()) {
+      std::cerr << status << "\n";
+      return 1;
+    }
+    std::cout << "trace (" << options.cluster.record_trace->size()
+              << " bytes) written to " << options.record_trace_path << "\n";
+  }
+
+  if (options.rt_check_oracle) {
+    // Golden: the same query and workload on the virtual clock, without
+    // adaptation (the strategy whose output correctness is established
+    // by the tier-1 suite), over exactly the tick range the realtime
+    // generator emitted.
+    ClusterConfig golden_config = options.cluster;
+    golden_config.strategy = AdaptationStrategy::kNoAdaptation;
+    golden_config.num_threads = 1;
+    golden_config.async_spill_io = false;
+    golden_config.use_file_backend = false;
+    golden_config.trace = false;
+    golden_config.record_trace = nullptr;
+    golden_config.run_duration = report.ticks_run;
+    Cluster golden_cluster(golden_config);
+    RunResult golden = golden_cluster.Run();
+
+    std::vector<std::string> violations;
+    sim::DiffOutputs(sim::ResultMultiset(result), sim::ResultMultiset(golden),
+                     &violations);
+    const int num_streams = options.cluster.workload.num_streams;
+    const std::vector<int64_t> got =
+        sim::PerStreamProcessed(result, num_streams);
+    const std::vector<int64_t> want =
+        sim::PerStreamProcessed(golden, num_streams);
+    if (got != want) {
+      std::string text = "per-stream processed mismatch:";
+      for (int s = 0; s < num_streams; ++s) {
+        text += " s" + std::to_string(s) + "=" +
+                std::to_string(got[static_cast<size_t>(s)]) + "/" +
+                std::to_string(want[static_cast<size_t>(s)]);
+      }
+      violations.push_back(std::move(text));
+    }
+    if (!violations.empty()) {
+      for (const std::string& v : violations) {
+        std::cerr << "ORACLE VIOLATION: " << v << "\n";
+      }
+      return 1;
+    }
+    std::cout << "oracle check passed: output multiset ("
+              << result.TotalResults()
+              << " results) and per-stream accounting match the "
+                 "deterministic replay\n";
+  }
+  return 0;
+}
 
 int Run(const std::vector<std::string>& args) {
   StatusOr<ExperimentOptions> parsed = ParseExperimentFlags(args);
@@ -42,6 +158,8 @@ int Run(const std::vector<std::string>& args) {
   if (!options.record_trace_path.empty()) {
     options.cluster.record_trace = std::make_shared<std::string>();
   }
+
+  if (options.realtime) return RunRealtime(std::move(options));
 
   std::cout << "strategy=" << StrategyName(options.cluster.strategy)
             << " engines=" << options.cluster.num_engines
